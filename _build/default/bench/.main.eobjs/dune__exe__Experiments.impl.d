@@ -1,0 +1,1 @@
+bench/experiments.ml: Bft_runtime Bft_stats Bft_types Bft_workload Config Format Harness Hashtbl List Metrics Moonshot Printf Protocol_kind String

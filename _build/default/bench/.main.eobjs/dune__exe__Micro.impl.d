@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Bft_chain Bft_crypto Bft_sim Bft_types Block Format Hashtbl Instance List Measure Payload Staged Test Time Toolkit

@@ -1,0 +1,60 @@
+(* Benchmark harness reproducing every table and figure of the paper's
+   evaluation.
+
+     dune exec bench/main.exe                 # everything, scaled down
+     dune exec bench/main.exe -- table3       # one experiment
+     dune exec bench/main.exe -- fig9 --full  # paper-scale parameters
+
+   Experiments: table1 table2 table3 fig6 fig7 fig8 fig9 ablations micro all *)
+
+let usage () =
+  print_endline
+    "usage: main.exe [table1|table2|table3|fig6|fig7|fig8|fig9|fairness|ablations|micro|all] [--full]";
+  exit 1
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let full = List.mem "--full" args in
+  let targets =
+    match List.filter (fun a -> a <> "--full") args with
+    | [] -> [ "all" ]
+    | ts -> ts
+  in
+  let scale =
+    if full then Experiments.full_scale else Experiments.default_scale
+  in
+  let dispatch = function
+    | "table1" ->
+        Experiments.table1 ();
+        Experiments.table1_empirical ()
+    | "table2" -> Experiments.table2 ()
+    | "table3" -> Experiments.table3 scale
+    | "fig6" -> Experiments.fig6 scale
+    | "fig7" -> Experiments.fig7 scale
+    | "fig8" -> Experiments.fig8 scale
+    | "fig9" -> Experiments.fig9 scale
+    | "fairness" -> Experiments.fairness scale
+    | "ablations" ->
+        Experiments.ablation_bandwidth scale;
+        Experiments.ablation_block_period scale;
+        Experiments.ablation_lso scale
+    | "micro" -> Micro.run ()
+    | "all" ->
+        Experiments.table1 ();
+        Experiments.table1_empirical ();
+        Experiments.table2 ();
+        Experiments.table3 scale;
+        Experiments.fig6 scale;
+        Experiments.fig7 scale;
+        Experiments.fig8 scale;
+        Experiments.fig9 scale;
+        Experiments.fairness scale;
+        Experiments.ablation_bandwidth scale;
+        Experiments.ablation_block_period scale;
+        Experiments.ablation_lso scale;
+        Micro.run ()
+    | other ->
+        Format.printf "unknown experiment %S@." other;
+        usage ()
+  in
+  List.iter dispatch targets

@@ -1,0 +1,94 @@
+(* Bechamel micro-benchmarks of the hot paths under the simulation: block
+   hashing, vote aggregation, event-queue churn, block-store ancestry.
+   These are per-operation costs, printed in nanoseconds. *)
+
+open Bechamel
+open Toolkit
+open Bft_types
+
+let chain = ref []
+
+let setup () =
+  let rec go acc parent view =
+    if view > 64 then List.rev acc
+    else
+      let b =
+        Block.create ~parent ~view ~proposer:(view mod 4)
+          ~payload:(Payload.make ~id:view ~size_bytes:0)
+      in
+      go (b :: acc) b (view + 1)
+  in
+  chain := go [] Block.genesis 1
+
+let test_block_create =
+  Test.make ~name:"block-create+hash"
+    (Staged.stage (fun () ->
+         let parent = List.hd !chain in
+         ignore
+           (Block.create ~parent ~view:(parent.Block.view + 1) ~proposer:1
+              ~payload:(Payload.make ~id:99 ~size_bytes:0))))
+
+let test_vote_aggregation =
+  Test.make ~name:"vote-aggregation(n=100,q=67)"
+    (Staged.stage (fun () ->
+         let acc = Bft_crypto.Accumulator.create ~n:100 ~threshold:67 in
+         for signer = 0 to 66 do
+           ignore (Bft_crypto.Accumulator.add acc () ~signer)
+         done))
+
+let test_event_queue =
+  Test.make ~name:"event-queue push+pop x64"
+    (Staged.stage (fun () ->
+         let q = Bft_sim.Event_queue.create () in
+         for i = 0 to 63 do
+           Bft_sim.Event_queue.push q ~time:(float_of_int (i * 7 mod 64)) i
+         done;
+         while not (Bft_sim.Event_queue.is_empty q) do
+           ignore (Bft_sim.Event_queue.pop q)
+         done))
+
+let test_store_ancestry =
+  Test.make ~name:"block-store ancestry depth 64"
+    (Staged.stage (fun () ->
+         let store = Bft_chain.Block_store.create () in
+         List.iter (fun b -> ignore (Bft_chain.Block_store.insert store b)) !chain;
+         let tip = List.nth !chain 63 in
+         ignore
+           (Bft_chain.Block_store.is_ancestor store ~ancestor:Block.genesis
+              ~of_:tip)))
+
+let test_signer_set =
+  Test.make ~name:"signer-set add x200"
+    (Staged.stage (fun () ->
+         let s = Bft_crypto.Signer_set.create ~n:200 in
+         for i = 0 to 199 do
+           ignore (Bft_crypto.Signer_set.add s i)
+         done))
+
+let tests =
+  [
+    test_block_create; test_vote_aggregation; test_event_queue;
+    test_store_ancestry; test_signer_set;
+  ]
+
+let run () =
+  setup ();
+  Format.printf "@.== Micro-benchmarks (per-op cost, monotonic clock) ==@.@.";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols (List.hd instances) results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) -> Format.printf "%-36s %12.1f ns/op@." name est
+          | Some [] | None -> Format.printf "%-36s (no estimate)@." name)
+        analyzed)
+    tests

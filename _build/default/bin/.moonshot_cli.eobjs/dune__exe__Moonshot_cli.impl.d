@@ -1,0 +1,1 @@
+bin/moonshot_cli.ml: Arg Bft_runtime Bft_stats Bft_workload Cmd Cmdliner Config Format Harness Logs Metrics Moonshot Printf Protocol_kind Term

@@ -1,0 +1,1 @@
+bin/moonshot_cli.mli:

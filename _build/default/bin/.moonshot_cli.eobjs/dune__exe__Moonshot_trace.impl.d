@@ -1,0 +1,1 @@
+bin/moonshot_trace.ml: Bft_sim Bft_types Block Env Format List Moonshot Payload Sys Validator_set

@@ -1,0 +1,169 @@
+(* Command-line front end: run any of the four protocols on a configurable
+   simulated network and print the paper's metrics.
+
+     dune exec bin/moonshot_cli.exe -- run --protocol CM -n 50 --payload 18000
+     dune exec bin/moonshot_cli.exe -- run -p J --schedule WJ --faults 13 -n 40
+     dune exec bin/moonshot_cli.exe -- table1
+*)
+
+open Cmdliner
+open Bft_runtime
+
+let protocol_conv =
+  let parse s =
+    match Protocol_kind.of_name s with
+    | Some p -> Ok p
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf
+               "unknown protocol %S (expected SM, PM, CM, J or long names)" s))
+  in
+  let print ppf p = Format.pp_print_string ppf (Protocol_kind.name p) in
+  Arg.conv (parse, print)
+
+let schedule_conv =
+  let parse s =
+    match Bft_workload.Schedules.of_name s with
+    | Some x -> Ok x
+    | None -> Error (`Msg (Printf.sprintf "unknown schedule %S" s))
+  in
+  let print ppf s = Format.pp_print_string ppf (Bft_workload.Schedules.name s) in
+  Arg.conv (parse, print)
+
+let protocol =
+  Arg.(
+    value
+    & opt protocol_conv Protocol_kind.Commit_moonshot
+    & info [ "p"; "protocol" ] ~docv:"PROTOCOL"
+        ~doc:"Protocol to run: SM, PM, CM or J (Jolteon baseline).")
+
+let nodes =
+  Arg.(
+    value & opt int 10
+    & info [ "n"; "nodes" ] ~docv:"N" ~doc:"Network size.")
+
+let payload =
+  Arg.(
+    value & opt int 0
+    & info [ "payload" ] ~docv:"BYTES" ~doc:"Block payload size in bytes.")
+
+let duration =
+  Arg.(
+    value & opt float 30.
+    & info [ "duration" ] ~docv:"SECONDS" ~doc:"Simulated run length.")
+
+let delta =
+  Arg.(
+    value & opt float 500.
+    & info [ "delta" ] ~docv:"MS" ~doc:"Message-delay bound Delta, ms.")
+
+let faults =
+  Arg.(
+    value & opt int 0
+    & info [ "f"; "faults" ] ~docv:"F"
+        ~doc:"Number of silent Byzantine nodes (at most (n-1)/3).")
+
+let schedule =
+  Arg.(
+    value
+    & opt schedule_conv Bft_workload.Schedules.Round_robin
+    & info [ "schedule" ] ~docv:"SCHED"
+        ~doc:"Leader schedule: round-robin, B, WM or WJ.")
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let gst =
+  Arg.(
+    value & opt float 0.
+    & info [ "gst" ] ~docv:"SECONDS"
+        ~doc:"Global stabilization time; before it, messages may be delayed \
+              adversarially.")
+
+let uniform_latency =
+  Arg.(
+    value
+    & opt (some (pair ~sep:',' float float)) None
+    & info [ "uniform-latency" ] ~docv:"BASE,JITTER"
+        ~doc:
+          "Replace the AWS WAN latency matrix with a uniform one-way latency \
+           of BASE + U[0,JITTER) ms.")
+
+let verbose =
+  Arg.(
+    value & flag
+    & info [ "v"; "verbose" ] ~doc:"Log per-run details to stderr.")
+
+let run_cmd =
+  let run verbose protocol n payload duration delta faults schedule seed gst
+      uniform_latency =
+    if verbose then begin
+      Logs.set_reporter (Logs.format_reporter ());
+      Logs.set_level (Some Logs.Info)
+    end;
+    let latency, bandwidth =
+      match uniform_latency with
+      | Some (base, jitter) -> (Config.Uniform { base; jitter }, None)
+      | None -> (Config.Wan, Some Bft_workload.Regions.bandwidth_bps)
+    in
+    let cfg =
+      {
+        (Config.default protocol ~n) with
+        Config.payload_bytes = payload;
+        duration_ms = duration *. 1000.;
+        delta_ms = delta;
+        f_actual = faults;
+        schedule;
+        seed;
+        gst_ms = gst *. 1000.;
+        pre_gst_extra_ms = (if gst > 0. then 4. *. delta else 0.);
+        latency;
+        bandwidth_bps = bandwidth;
+      }
+    in
+    let r = Harness.run cfg in
+    let m = r.Harness.metrics in
+    Format.printf "config          : %a@." Config.pp cfg;
+    Format.printf "blocks committed: %d (%.2f blocks/s)@."
+      m.Metrics.committed_blocks m.Metrics.blocks_per_sec;
+    Format.printf "avg latency     : %.1f ms@." m.Metrics.avg_latency_ms;
+    if m.Metrics.latencies_ms <> [] then
+      Format.printf "latency p50/p95 : %.1f / %.1f ms@."
+        (Bft_stats.Descriptive.percentile 50. m.Metrics.latencies_ms)
+        (Bft_stats.Descriptive.percentile 95. m.Metrics.latencies_ms);
+    Format.printf "transfer rate   : %.3f MB/s@."
+      (m.Metrics.transfer_rate_bps /. 1e6);
+    Format.printf "messages        : %d (%.1f MB)@." r.Harness.messages_sent
+      (r.Harness.bytes_sent /. 1e6);
+    Format.printf "safety          : OK@."
+  in
+  let term =
+    Term.(
+      const run $ verbose $ protocol $ nodes $ payload $ duration $ delta
+      $ faults $ schedule $ seed $ gst $ uniform_latency)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one protocol on a simulated network")
+    term
+
+let table1_cmd =
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Print the theoretical comparison (paper Table I)")
+    Term.(const (fun () -> Moonshot.Theory.print Format.std_formatter) $ const ())
+
+let table2_cmd =
+  Cmd.v
+    (Cmd.info "table2" ~doc:"Print the AWS latency matrix (paper Table II)")
+    Term.(
+      const (fun () -> Bft_workload.Regions.print_table Format.std_formatter)
+      $ const ())
+
+let () =
+  let info =
+    Cmd.info "moonshot" ~version:"1.0.0"
+      ~doc:
+        "Moonshot chain-based rotating-leader BFT SMR (DSN 2024) -- simulated \
+         evaluation harness"
+  in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; table1_cmd; table2_cmd ]))

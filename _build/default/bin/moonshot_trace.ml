@@ -1,0 +1,70 @@
+(* Message-flow tracer: runs a few views of Pipelined Moonshot on a tiny
+   exact-hop network and prints the delivery timeline, making Figure 2 of
+   the paper observable — optimistic proposals (for view v+1) are in flight
+   while votes for view v are still propagating, which is what buys the
+   one-hop block period.
+
+     dune exec bin/moonshot_trace.exe [-- horizon_ms]
+*)
+
+open Bft_types
+
+let n = 4
+let hop = 10.
+
+let () =
+  let horizon =
+    match Sys.argv with
+    | [| _; h |] -> float_of_string h
+    | _ -> 65.
+  in
+  let network =
+    Bft_sim.Network.make
+      ~latency:(Bft_sim.Latency.Uniform { base = hop; jitter = 0. })
+      ~delta:50. ()
+  in
+  let engine =
+    Bft_sim.Engine.create ~n ~network ~seed:1
+      ~msg_size:Moonshot.Message.size ()
+  in
+  (* Print every delivery except the sender's own loop-back. *)
+  Bft_sim.Engine.set_delivery_tap engine (fun ~time ~src ~dst msg ->
+      if src <> dst then
+        Format.printf "%6.1f ms  %d -> %d  %a@." time src dst
+          Moonshot.Message.pp msg);
+  let validators = Validator_set.make n in
+  let nodes =
+    List.map
+      (fun id ->
+        let env =
+          {
+            Env.id;
+            validators;
+            delta = 50.;
+            now = (fun () -> Bft_sim.Engine.now engine);
+            send = (fun dst msg -> Bft_sim.Engine.send engine ~src:id ~dst msg);
+            multicast = (fun msg -> Bft_sim.Engine.multicast engine ~src:id msg);
+            set_timer = (fun d f -> Bft_sim.Engine.set_timer engine d f);
+            leader_of = (fun view -> (view - 1) mod n);
+            make_payload = (fun ~view -> Payload.make ~id:view ~size_bytes:0);
+            on_commit =
+              (fun b ->
+                Format.printf "%6.1f ms  node %d COMMITS %a@."
+                  (Bft_sim.Engine.now engine) id Block.pp b);
+            on_propose = (fun _ -> ());
+          }
+        in
+        let node = Moonshot.Pipelined_node.create env in
+        Bft_sim.Engine.set_handler engine id
+          (Moonshot.Pipelined_node.handle node);
+        node)
+      (List.init n (fun i -> i))
+  in
+  Format.printf
+    "Pipelined Moonshot, %d nodes, every message exactly %.0f ms.@.\
+     Leader of view v is node (v-1) mod %d.  Watch opt-proposals for view@.\
+     v+1 overlap votes for view v (Figure 2), and commits land 3 hops after@.\
+     a block's proposal.@.@."
+    n hop n;
+  List.iter Moonshot.Pipelined_node.start nodes;
+  Bft_sim.Engine.run engine ~until:horizon

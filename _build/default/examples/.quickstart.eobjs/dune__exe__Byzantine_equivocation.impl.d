@@ -1,0 +1,1 @@
+examples/byzantine_equivocation.ml: Bft_chain Bft_runtime Config Format Harness Metrics Protocol_kind

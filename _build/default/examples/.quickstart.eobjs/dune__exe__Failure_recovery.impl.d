@@ -1,0 +1,1 @@
+examples/failure_recovery.ml: Bft_runtime Bft_stats Bft_workload Config Format Harness List Metrics Printf Protocol_kind

@@ -1,0 +1,1 @@
+examples/partial_synchrony.ml: Bft_runtime Config Format Harness Metrics Protocol_kind String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bft_runtime Config Format Harness Metrics Protocol_kind

@@ -1,0 +1,1 @@
+examples/replicated_kv.ml: Array Bft_app Bft_runtime Bft_types Config Format Harness List Metrics Protocol_kind String

@@ -1,0 +1,1 @@
+examples/transaction_latency.ml: Bft_app Bft_runtime Bft_stats Config Format Harness List Metrics Printf Protocol_kind

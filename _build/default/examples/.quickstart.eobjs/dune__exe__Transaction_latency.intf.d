@@ -1,0 +1,1 @@
+examples/transaction_latency.mli:

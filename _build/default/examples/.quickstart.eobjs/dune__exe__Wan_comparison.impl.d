@@ -1,0 +1,1 @@
+examples/wan_comparison.ml: Bft_runtime Bft_stats Bft_workload Config Format Harness List Metrics Printf Protocol_kind

@@ -1,0 +1,53 @@
+(* Life before and after GST.
+
+   For the first 20 simulated seconds the adversary may hold every message
+   for up to 10 extra seconds (delivery is still bounded by GST + Delta, per
+   Dwork et al.).  After GST the network obeys Delta = 500 ms.  The example
+   prints per-5s-window commit counts, showing consensus stalling through
+   the asynchronous period and snapping back after GST:
+
+     dune exec examples/partial_synchrony.exe
+*)
+
+open Bft_runtime
+
+let gst_ms = 20_000.
+let duration_ms = 40_000.
+let window_ms = 5_000.
+
+let () =
+  let cfg =
+    {
+      (Config.default Protocol_kind.Commit_moonshot ~n:10) with
+      Config.gst_ms;
+      pre_gst_extra_ms = 10_000.;
+      duration_ms;
+      delta_ms = 500.;
+    }
+  in
+  (* Count quorum commits per window by running with a custom metric pass:
+     the public metrics expose per-block latencies, so instead we run twice
+     with increasing horizons and difference the counts. *)
+  let committed_by horizon =
+    let r = Harness.run { cfg with Config.duration_ms = horizon } in
+    r.Harness.metrics.Metrics.committed_blocks
+  in
+  Format.printf "GST at %.0f s; adversary delays messages up to 10 s before it.@.@."
+    (gst_ms /. 1000.);
+  Format.printf "%-12s %s@." "window" "blocks committed (cumulative)";
+  let rec windows t prev =
+    if t > duration_ms then ()
+    else begin
+      let c = committed_by t in
+      Format.printf "up to %4.0f s  %4d  %s@." (t /. 1000.) c
+        (String.make (max 0 (c - prev)) '#');
+      windows (t +. window_ms) c
+    end
+  in
+  windows window_ms 0;
+  Format.printf
+    "@.Before GST the adversary scrambles delivery and views mostly time out;@.";
+  Format.printf
+    "after GST (%.0f s) the chain grows at network speed.  Safety held@."
+    (gst_ms /. 1000.);
+  Format.printf "throughout (the harness checks every commit).@."

@@ -1,0 +1,32 @@
+(* Quickstart: run Commit Moonshot on a small simulated WAN and print what
+   the replicated chain looks like.
+
+     dune exec examples/quickstart.exe
+*)
+
+let () =
+  let open Bft_runtime in
+  (* 10 nodes spread over the paper's five AWS regions, 18 kB payloads,
+     10 simulated seconds of consensus. *)
+  let config =
+    {
+      (Config.default Protocol_kind.Commit_moonshot ~n:10) with
+      Config.payload_bytes = 18_000;
+      duration_ms = 10_000.;
+    }
+  in
+  let result = Harness.run config in
+  let m = result.Harness.metrics in
+  Format.printf "protocol        : %s@."
+    (Protocol_kind.name config.Config.protocol);
+  Format.printf "simulated time  : %.0f s@."
+    (config.Config.duration_ms /. 1000.);
+  Format.printf "blocks committed: %d (by at least %d of %d nodes)@."
+    m.Metrics.committed_blocks
+    ((2 * ((config.Config.n - 1) / 3)) + 1)
+    config.Config.n;
+  Format.printf "avg commit lat. : %.1f ms@." m.Metrics.avg_latency_ms;
+  Format.printf "transfer rate   : %.2f MB/s@."
+    (m.Metrics.transfer_rate_bps /. 1e6);
+  Format.printf "messages sent   : %d (%.1f MB)@." result.Harness.messages_sent
+    (result.Harness.bytes_sent /. 1e6)

@@ -1,0 +1,53 @@
+(* End-to-end transaction latency: why the block period omega matters.
+
+   A client's transaction waits for the next block to be cut (on average
+   half a block period) and then for that block to commit.  Moonshot's
+   omega = delta halves the queueing delay relative to Jolteon's
+   omega = 2*delta, so end-to-end latency improves by more than the commit
+   latency gap alone:
+
+     dune exec examples/transaction_latency.exe
+*)
+
+open Bft_runtime
+
+let run protocol =
+  let cfg =
+    {
+      (Config.default protocol ~n:10) with
+      Config.payload_bytes = 18_000;
+      duration_ms = 20_000.;
+    }
+  in
+  let r = Harness.run cfg in
+  let timeline =
+    List.map
+      (fun (rec_ : Metrics.record) ->
+        (rec_.Metrics.created_ms, rec_.Metrics.quorum_commit_ms))
+      r.Harness.metrics.Metrics.records
+  in
+  Bft_app.Client.analyze timeline
+
+let () =
+  Format.printf
+    "Client-perceived latency = queueing (half a block period) + commit.@.@.";
+  let table =
+    Bft_stats.Table.create
+      [ "protocol"; "period ms"; "queue ms"; "commit ms"; "end-to-end ms" ]
+  in
+  List.iter
+    (fun protocol ->
+      let s = run protocol in
+      Bft_stats.Table.add_row table
+        [
+          Protocol_kind.short_name protocol;
+          Printf.sprintf "%.0f" s.Bft_app.Client.avg_block_period_ms;
+          Printf.sprintf "%.0f" s.Bft_app.Client.avg_queueing_ms;
+          Printf.sprintf "%.0f" s.Bft_app.Client.avg_commit_latency_ms;
+          Printf.sprintf "%.0f" s.Bft_app.Client.avg_end_to_end_ms;
+        ])
+    Protocol_kind.all;
+  Bft_stats.Table.print Format.std_formatter table;
+  Format.printf
+    "@.The Moonshots win twice: ~half the queueing delay (omega = d vs 2d)@.";
+  Format.printf "AND ~60%% of the commit latency (lambda = 3d vs 5d / 7d).@."

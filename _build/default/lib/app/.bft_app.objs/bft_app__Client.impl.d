@@ -1,0 +1,1 @@
+lib/app/client.ml: Bft_stats Float Format List Option

@@ -1,0 +1,1 @@
+lib/app/client.mli: Format

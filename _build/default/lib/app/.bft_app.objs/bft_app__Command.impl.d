@@ -1,0 +1,1 @@
+lib/app/command.ml: Bft_types Format Hash Int64 List Payload Printf String

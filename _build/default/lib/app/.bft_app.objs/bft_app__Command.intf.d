@@ -1,0 +1,1 @@
+lib/app/command.mli: Bft_types Format

@@ -1,0 +1,1 @@
+lib/app/kv_store.ml: Bft_types Command Hashtbl Int64 List Option String

@@ -1,0 +1,1 @@
+lib/app/kv_store.mli: Bft_types Command

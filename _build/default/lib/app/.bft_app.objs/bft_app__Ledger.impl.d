@@ -1,0 +1,1 @@
+lib/app/ledger.ml: Bft_types Block Command Hash Hashtbl Kv_store List Printf

@@ -1,0 +1,1 @@
+lib/app/ledger.mli: Bft_types Kv_store

@@ -1,0 +1,44 @@
+type block_timeline = (float * float option) list
+
+type stats = {
+  committed_blocks : int;
+  avg_block_period_ms : float;
+  avg_commit_latency_ms : float;
+  avg_queueing_ms : float;
+  avg_end_to_end_ms : float;
+  lost_blocks : int;
+}
+
+let analyze timeline =
+  let committed =
+    List.filter_map
+      (fun (c, m) -> Option.map (fun m -> (c, m)) m)
+      (List.sort (fun (a, _) (b, _) -> Float.compare a b) timeline)
+  in
+  let lost = List.length timeline - List.length committed in
+  match committed with
+  | [] | [ _ ] -> invalid_arg "Client.analyze: need at least two committed blocks"
+  | (first_c, _) :: _ ->
+      let n = List.length committed in
+      let last_c, _ = List.nth committed (n - 1) in
+      let period = (last_c -. first_c) /. float_of_int (n - 1) in
+      let commit_lat =
+        Bft_stats.Descriptive.mean (List.map (fun (c, m) -> m -. c) committed)
+      in
+      (* Transactions arrive uniformly; those bound for a given block waited
+         half a period on average. *)
+      let queueing = period /. 2. in
+      {
+        committed_blocks = n;
+        avg_block_period_ms = period;
+        avg_commit_latency_ms = commit_lat;
+        avg_queueing_ms = queueing;
+        avg_end_to_end_ms = queueing +. commit_lat;
+        lost_blocks = lost;
+      }
+
+let pp ppf s =
+  Format.fprintf ppf
+    "blocks=%d period=%.1fms commit=%.1fms queue=%.1fms end-to-end=%.1fms lost=%d"
+    s.committed_blocks s.avg_block_period_ms s.avg_commit_latency_ms
+    s.avg_queueing_ms s.avg_end_to_end_ms s.lost_blocks

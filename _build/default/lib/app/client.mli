@@ -1,0 +1,26 @@
+(** End-to-end (client-side) transaction latency analysis.
+
+    A transaction's end-to-end latency is queueing delay (waiting for the
+    next block to be cut) plus the block's commit latency.  Under a steady
+    arrival stream, transactions arriving between consecutive block
+    creations wait half the block period on average — which is why a block
+    period of delta (Moonshot) beats 2 delta (Jolteon) on end-to-end latency
+    even when block commit latencies were equal.  This module computes that
+    from a run's per-block timeline. *)
+
+(** [(created_ms, quorum_commit_ms option)] per block, any order. *)
+type block_timeline = (float * float option) list
+
+type stats = {
+  committed_blocks : int;
+  avg_block_period_ms : float;  (** Mean gap between block creations. *)
+  avg_commit_latency_ms : float;  (** Creation to quorum commit. *)
+  avg_queueing_ms : float;  (** Mean wait for the next cut block. *)
+  avg_end_to_end_ms : float;  (** Queueing plus commit. *)
+  lost_blocks : int;  (** Created but never quorum-committed. *)
+}
+
+(** Raises [Invalid_argument] when fewer than two blocks committed. *)
+val analyze : block_timeline -> stats
+
+val pp : Format.formatter -> stats -> unit

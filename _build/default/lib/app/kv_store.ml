@@ -1,0 +1,29 @@
+type t = { table : (string, int) Hashtbl.t; mutable applied : int }
+
+let create () = { table = Hashtbl.create 64; applied = 0 }
+
+let apply t cmd =
+  t.applied <- t.applied + 1;
+  match (cmd : Command.t) with
+  | Command.Set { key; value } -> Hashtbl.replace t.table key value
+  | Command.Incr { key; by } ->
+      let current = Option.value ~default:0 (Hashtbl.find_opt t.table key) in
+      Hashtbl.replace t.table key (current + by)
+  | Command.Del { key } -> Hashtbl.remove t.table key
+
+let find t key = Hashtbl.find_opt t.table key
+let size t = Hashtbl.length t.table
+let applied t = t.applied
+
+let bindings t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.table []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let digest t =
+  let fields =
+    List.concat_map
+      (fun (k, v) ->
+        [ Int64.of_int (Hashtbl.hash k); Int64.of_int v ])
+      (bindings t)
+  in
+  Bft_types.Hash.of_fields (Int64.of_int t.applied :: fields)

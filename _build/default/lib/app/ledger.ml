@@ -1,0 +1,28 @@
+open Bft_types
+
+type t = {
+  kv : Kv_store.t;
+  mutable height : int;
+  digests : (int, Hash.t) Hashtbl.t;
+}
+
+let create () =
+  { kv = Kv_store.create (); height = 0; digests = Hashtbl.create 64 }
+
+let apply_block t (b : Block.t) =
+  if b.Block.height <> t.height + 1 then
+    invalid_arg
+      (Printf.sprintf "Ledger.apply_block: got height %d, expected %d"
+         b.Block.height (t.height + 1));
+  List.iter (Kv_store.apply t.kv) (Command.of_payload b.Block.payload);
+  t.height <- b.Block.height;
+  Hashtbl.replace t.digests t.height (Kv_store.digest t.kv)
+
+let digest_at t height =
+  if height = 0 then Some (Kv_store.digest (Kv_store.create ()))
+  else Hashtbl.find_opt t.digests height
+
+let height t = t.height
+let store t = t.kv
+let digest t = Kv_store.digest t.kv
+let commands_applied t = Kv_store.applied t.kv

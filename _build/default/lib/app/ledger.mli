@@ -1,0 +1,28 @@
+(** A replica's application ledger: consumes the consensus layer's commit
+    stream (blocks, in chain order) and drives the {!Kv_store} state
+    machine.
+
+    The commit order delivered by any Moonshot/Jolteon node is a prefix of
+    the same global chain, so any two ledgers agree on their common prefix —
+    checked by comparing {!digest}s at equal heights. *)
+
+type t
+
+val create : unit -> t
+
+(** [apply_block t b] executes [b]'s commands.  Blocks must arrive in chain
+    order (height [height t + 1]); raises [Invalid_argument] otherwise —
+    catching integration bugs loudly. *)
+val apply_block : t -> Bft_types.Block.t -> unit
+
+val height : t -> int  (** Height of the last applied block (0 initially). *)
+
+val store : t -> Kv_store.t
+val digest : t -> Bft_types.Hash.t
+
+(** State digest as it was right after applying the block at [height];
+    [None] if that height has not been applied.  Lets replicas that are at
+    different heights be compared on their common prefix. *)
+val digest_at : t -> int -> Bft_types.Hash.t option
+
+val commands_applied : t -> int

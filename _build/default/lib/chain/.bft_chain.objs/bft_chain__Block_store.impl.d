@@ -1,0 +1,1 @@
+lib/chain/block_store.ml: Bft_types Block Hash Hashtbl List Option

@@ -1,0 +1,1 @@
+lib/chain/block_store.mli: Bft_types Block Hash

@@ -1,0 +1,1 @@
+lib/chain/commit_log.ml: Array Bft_types Block Block_store Format Hash List

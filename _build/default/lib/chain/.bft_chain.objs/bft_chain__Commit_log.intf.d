@@ -1,0 +1,1 @@
+lib/chain/commit_log.mli: Bft_types Block Block_store Hash

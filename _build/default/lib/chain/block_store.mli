@@ -1,0 +1,34 @@
+(** A node's local store of block headers, indexed by hash with a
+    parent-to-children index for descendant queries.
+
+    The store always contains the genesis block.  Blocks arrive out of order
+    (a vote can beat the proposal that carries the block), so ancestry
+    queries tolerate missing intermediate blocks by reporting [`Unknown]. *)
+
+open Bft_types
+
+type t
+
+val create : unit -> t
+
+(** [insert t b] records [b]; idempotent.  Returns [true] when new. *)
+val insert : t -> Block.t -> bool
+
+val find : t -> Hash.t -> Block.t option
+val mem : t -> Hash.t -> bool
+val parent : t -> Block.t -> Block.t option
+val children : t -> Hash.t -> Block.t list
+val size : t -> int
+
+(** [is_ancestor t ~ancestor ~of_] walks parent links from [of_].  A block is
+    an ancestor of itself.  [`Unknown] when a parent link leaves the store
+    before reaching [ancestor]'s height. *)
+val is_ancestor : t -> ancestor:Block.t -> of_:Block.t -> [ `Yes | `No | `Unknown ]
+
+(** Blocks in the store that descend from the block with hash [h]
+    (excluding the block itself). *)
+val descendants : t -> Hash.t -> Block.t list
+
+(** The chain from genesis to [b] inclusive, oldest first.  [None] when an
+    ancestor is missing. *)
+val chain_to : t -> Block.t -> Block.t list option

@@ -1,0 +1,74 @@
+open Bft_types
+
+exception Safety_violation of string
+
+type t = {
+  mutable chain : Block.t array;  (* chain.(h) is the block at height h *)
+  mutable len : int;  (* filled prefix: heights 0 .. len-1 *)
+  on_commit : Block.t -> unit;
+}
+
+let create ?(on_commit = fun _ -> ()) () =
+  let chain = Array.make 64 Block.genesis in
+  { chain; len = 1; on_commit }
+
+let ensure_capacity t h =
+  if h >= Array.length t.chain then begin
+    let bigger = Array.make (max (h + 1) (2 * Array.length t.chain)) Block.genesis in
+    Array.blit t.chain 0 bigger 0 t.len;
+    t.chain <- bigger
+  end
+
+let at_height t h = if h >= 0 && h < t.len then Some t.chain.(h) else None
+let last t = t.chain.(t.len - 1)
+let length t = t.len - 1
+
+let is_committed t hash =
+  let rec scan h =
+    h >= 0 && (Hash.equal t.chain.(h).Block.hash hash || scan (h - 1))
+  in
+  scan (t.len - 1)
+
+let commit t store (b : Block.t) =
+  let open Block in
+  if b.height < t.len then begin
+    (* Already covered: must agree with what we committed at that height. *)
+    if not (Hash.equal t.chain.(b.height).hash b.hash) then
+      raise
+        (Safety_violation
+           (Format.asprintf "conflicting commit at height %d: %a vs %a"
+              b.height Block.pp t.chain.(b.height) Block.pp b));
+    []
+  end
+  else begin
+    (* Collect the uncommitted suffix ending at b, oldest first. *)
+    let rec ancestors acc (cur : Block.t) =
+      if cur.height < t.len then begin
+        if not (Hash.equal t.chain.(cur.height).hash cur.hash) then
+          raise
+            (Safety_violation
+               (Format.asprintf
+                  "commit of %a forks from committed %a at height %d" Block.pp
+                  b Block.pp t.chain.(cur.height) cur.height));
+        acc
+      end
+      else
+        match Block_store.find store cur.parent with
+        | None ->
+            invalid_arg
+              (Format.asprintf "Commit_log.commit: missing ancestor of %a"
+                 Block.pp cur)
+        | Some p -> ancestors (cur :: acc) p
+    in
+    let newly = ancestors [] b in
+    ensure_capacity t b.height;
+    List.iter
+      (fun (blk : Block.t) ->
+        t.chain.(blk.height) <- blk;
+        t.len <- blk.height + 1;
+        t.on_commit blk)
+      newly;
+    newly
+  end
+
+let to_list t = Array.to_list (Array.sub t.chain 0 t.len)

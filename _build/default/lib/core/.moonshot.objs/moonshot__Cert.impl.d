@@ -1,0 +1,1 @@
+lib/core/cert.ml: Bft_types Block Format Int Vote_kind Wire_size

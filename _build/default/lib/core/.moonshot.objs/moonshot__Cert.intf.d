@@ -1,0 +1,1 @@
+lib/core/cert.mli: Bft_types Block Format Vote_kind

@@ -1,0 +1,1 @@
+lib/core/message.ml: Bft_types Block Cert Cpu_model Format Hash List Payload Tc Vote_kind Wire_size

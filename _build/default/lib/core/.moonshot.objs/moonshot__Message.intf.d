@@ -1,0 +1,1 @@
+lib/core/message.mli: Bft_types Block Cert Format Hash Tc Vote_kind

@@ -1,0 +1,1 @@
+lib/core/node_core.ml: Bft_chain Bft_crypto Bft_types Block Block_store Cert Commit_log Env Hash Hashtbl List Option Stdlib Vote_kind

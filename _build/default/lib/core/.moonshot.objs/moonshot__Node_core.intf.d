@@ -1,0 +1,1 @@
+lib/core/node_core.mli: Bft_chain Bft_types Block Cert Env Hash Vote_kind

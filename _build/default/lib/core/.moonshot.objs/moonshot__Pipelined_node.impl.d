@@ -1,0 +1,1 @@
+lib/core/pipelined_node.ml: Bft_chain Bft_crypto Bft_types Block Cert Env Hash Hashtbl List Message Node_core Option Proposal_sender Safety_rules Sync Tc Vote_kind Wal

@@ -1,0 +1,1 @@
+lib/core/pipelined_node.mli: Bft_chain Bft_types Cert Env Message Wal

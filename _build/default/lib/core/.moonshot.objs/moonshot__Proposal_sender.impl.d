@@ -1,0 +1,1 @@
+lib/core/proposal_sender.ml: Bft_types Block Env Payload

@@ -1,0 +1,1 @@
+lib/core/proposal_sender.mli: Bft_types Block Env Message

@@ -1,0 +1,1 @@
+lib/core/safety_rules.ml: Bft_types Block Cert Tc

@@ -1,0 +1,1 @@
+lib/core/simple_node.ml: Bft_crypto Bft_types Block Cert Env Hashtbl List Message Node_core Option Proposal_sender Safety_rules Sync Tc Vote_kind

@@ -1,0 +1,1 @@
+lib/core/simple_node.mli: Bft_chain Bft_types Cert Env Message

@@ -1,0 +1,1 @@
+lib/core/sync.ml: Bft_types Block Env Hash List Node_core

@@ -1,0 +1,1 @@
+lib/core/sync.mli: Bft_types Block Env Hash Node_core

@@ -1,0 +1,1 @@
+lib/core/tc.ml: Bft_types Cert Format Wire_size

@@ -1,0 +1,1 @@
+lib/core/tc.mli: Cert Format

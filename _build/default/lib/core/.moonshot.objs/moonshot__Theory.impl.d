@@ -1,0 +1,1 @@
+lib/core/theory.ml: Format List

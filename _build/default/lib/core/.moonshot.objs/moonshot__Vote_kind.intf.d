@@ -1,0 +1,1 @@
+lib/core/vote_kind.mli: Format

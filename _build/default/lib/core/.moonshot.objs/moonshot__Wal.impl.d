@@ -1,0 +1,1 @@
+lib/core/wal.ml: Bft_types Block Cert

@@ -1,0 +1,1 @@
+lib/core/wal.mli: Bft_types Block Cert

@@ -1,0 +1,102 @@
+open Bft_types
+
+type t =
+  | Opt_propose of { block : Block.t }
+  | Propose of { block : Block.t; cert : Cert.t }
+  | Fb_propose of { block : Block.t; cert : Cert.t; tc : Tc.t }
+  | Vote of { kind : Vote_kind.t; block : Block.t }
+  | Timeout of { view : int; lock : Cert.t option }
+  | Cert_gossip of Cert.t
+  | Tc_gossip of Tc.t
+  | Status of { view : int; lock : Cert.t }
+  | Commit_vote of { view : int; block : Block.t }
+  | Block_request of { hash : Hash.t }
+  | Blocks_response of { blocks : Block.t list }
+
+let proposal_base (b : Block.t) =
+  Wire_size.tag
+  + Wire_size.block ~payload_bytes:b.Block.payload.Payload.size_bytes
+  + Wire_size.signature
+
+let size = function
+  | Opt_propose { block } -> proposal_base block
+  | Propose { block; cert } -> proposal_base block + Cert.wire_size cert
+  | Fb_propose { block; cert; tc } ->
+      proposal_base block + Cert.wire_size cert + Tc.wire_size tc
+  | Vote _ -> Wire_size.vote
+  | Timeout { lock; _ } ->
+      let lock_size = match lock with None -> 0 | Some c -> Cert.wire_size c in
+      Wire_size.tag + Wire_size.view + Wire_size.signature + Wire_size.node_id
+      + lock_size
+  | Cert_gossip c -> Wire_size.tag + Cert.wire_size c
+  | Tc_gossip tc -> Wire_size.tag + Tc.wire_size tc
+  | Status { lock; _ } ->
+      Wire_size.tag + Wire_size.view + Cert.wire_size lock
+      + Wire_size.signature + Wire_size.node_id
+  | Commit_vote _ ->
+      Wire_size.tag + Wire_size.view + Wire_size.block_header
+      + Wire_size.signature + Wire_size.node_id
+  | Block_request _ -> Wire_size.tag + Wire_size.hash + Wire_size.node_id
+  | Blocks_response { blocks } ->
+      Wire_size.tag
+      + List.fold_left
+          (fun acc (b : Block.t) ->
+            acc + Wire_size.block ~payload_bytes:b.Block.payload.Payload.size_bytes)
+          0 blocks
+
+let cpu_cost =
+  let open Cpu_model in
+  function
+  | Opt_propose { block } ->
+      verify_signatures 1 +. hash_payload block.Block.payload.Payload.size_bytes
+  | Propose { block; cert = _ } ->
+      (* The embedded certificate was almost always assembled locally from
+         verified votes already; charge the cache check. *)
+      verify_signatures 1 +. cache_check_ms
+      +. hash_payload block.Block.payload.Payload.size_bytes
+  | Fb_propose { block; cert; tc } ->
+      (* Fallback proposals are rare and their TC is fresh: verify it. *)
+      verify_signatures (1 + cert.Cert.signers + tc.Tc.signers)
+      +. hash_payload block.Block.payload.Payload.size_bytes
+  | Vote _ -> verify_signatures 1
+  | Timeout _ -> verify_signatures 1 +. cache_check_ms
+  | Cert_gossip _ -> cache_check_ms
+  | Tc_gossip tc -> verify_signatures tc.Tc.signers
+  | Status _ -> verify_signatures 1 +. cache_check_ms
+  | Commit_vote _ -> verify_signatures 1
+  | Block_request _ -> cache_check_ms
+  | Blocks_response { blocks } ->
+      List.fold_left
+        (fun acc (b : Block.t) ->
+          acc +. hash_payload b.Block.payload.Payload.size_bytes +. cache_check_ms)
+        0. blocks
+
+let classify = function
+  | Opt_propose _ | Propose _ | Fb_propose _ -> `Proposal
+  | Vote _ | Commit_vote _ -> `Vote
+  | Timeout _ -> `Timeout
+  | Cert_gossip _ | Tc_gossip _ | Status _ | Block_request _ | Blocks_response _
+    -> `Other
+
+let pp ppf = function
+  | Opt_propose { block } -> Format.fprintf ppf "opt-propose(%a)" Block.pp block
+  | Propose { block; cert } ->
+      Format.fprintf ppf "propose(%a, %a)" Block.pp block Cert.pp cert
+  | Fb_propose { block; cert; tc } ->
+      Format.fprintf ppf "fb-propose(%a, %a, %a)" Block.pp block Cert.pp cert
+        Tc.pp tc
+  | Vote { kind; block } ->
+      Format.fprintf ppf "%a-vote(%a)" Vote_kind.pp kind Block.pp block
+  | Timeout { view; lock } ->
+      Format.fprintf ppf "timeout(v=%d, lock=%a)" view
+        (Format.pp_print_option Cert.pp)
+        lock
+  | Cert_gossip c -> Format.fprintf ppf "cert-gossip(%a)" Cert.pp c
+  | Tc_gossip tc -> Format.fprintf ppf "tc-gossip(%a)" Tc.pp tc
+  | Status { view; lock } ->
+      Format.fprintf ppf "status(v=%d, %a)" view Cert.pp lock
+  | Commit_vote { view; block } ->
+      Format.fprintf ppf "commit-vote(v=%d, %a)" view Block.pp block
+  | Block_request { hash } -> Format.fprintf ppf "block-request(%a)" Hash.pp hash
+  | Blocks_response { blocks } ->
+      Format.fprintf ppf "blocks-response(%d blocks)" (List.length blocks)

@@ -1,0 +1,46 @@
+(** Wire messages of the Moonshot protocols.
+
+    One message type serves all three protocols; each protocol simply never
+    emits the constructors it does not use (e.g. Simple Moonshot never sends
+    [Fb_propose] or [Commit_vote], Pipelined Moonshot never sends [Status]).
+    Sender authentication is provided by the simulator's authenticated
+    channels, so a [Vote] from source [i] is [i]'s signed vote. *)
+
+open Bft_types
+
+type t =
+  | Opt_propose of { block : Block.t }
+      (** Optimistic proposal for [block.view]; carries no certificate. *)
+  | Propose of { block : Block.t; cert : Cert.t }
+      (** Normal proposal: [block] extends the block certified by [cert]. *)
+  | Fb_propose of { block : Block.t; cert : Cert.t; tc : Tc.t }
+      (** Fallback proposal justified by a timeout certificate
+          (Pipelined/Commit Moonshot only). *)
+  | Vote of { kind : Vote_kind.t; block : Block.t }
+      (** Multicast vote for [block] in view [block.view]. *)
+  | Timeout of { view : int; lock : Cert.t option }
+      (** View-change request.  [lock] present in Pipelined/Commit. *)
+  | Cert_gossip of Cert.t  (** Certificate multicast on view entry. *)
+  | Tc_gossip of Tc.t
+      (** TC relay: multicast in Simple, unicast-to-leader in Pipelined. *)
+  | Status of { view : int; lock : Cert.t }
+      (** Simple Moonshot: lock report unicast to the new leader. *)
+  | Commit_vote of { view : int; block : Block.t }
+      (** Commit Moonshot's explicit pre-commit vote. *)
+  | Block_request of { hash : Hash.t }
+      (** Synchronizer: ask a peer for a missing block (unicast). *)
+  | Blocks_response of { blocks : Block.t list }
+      (** Synchronizer: a chain segment, oldest first (unicast). *)
+
+val size : t -> int
+
+(** Receiver-side processing cost (ms): fresh signatures are verified,
+    already-known certificates only cost a cache lookup (a node that
+    assembled a certificate from multicast votes verified each vote as it
+    arrived, so gossiped copies are duplicates).  See {!Bft_types.Cpu_model}. *)
+val cpu_cost : t -> float
+
+(** Coarse class for Byzantine behaviours and trace statistics. *)
+val classify : t -> [ `Proposal | `Vote | `Timeout | `Other ]
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,153 @@
+open Bft_types
+open Bft_chain
+
+type 'msg t = {
+  env : 'msg Env.t;
+  store : Block_store.t;
+  log : Commit_log.t;
+  votes : (int * int * int) Bft_crypto.Accumulator.t;
+  certs_by_view : (int, Cert.t list) Hashtbl.t;
+  mutable high_cert : Cert.t;
+  mutable deferred_commits : Block.t list;
+}
+
+let create env =
+  let t =
+    {
+      env;
+      store = Block_store.create ();
+      log = Commit_log.create ~on_commit:env.Env.on_commit ();
+      votes =
+        Bft_crypto.Accumulator.create ~n:(Env.n env)
+          ~threshold:(Env.quorum env);
+      certs_by_view = Hashtbl.create 64;
+      high_cert = Cert.genesis;
+      deferred_commits = [];
+    }
+  in
+  (* The genesis certificate is common knowledge at protocol start. *)
+  Hashtbl.replace t.certs_by_view 0 [ Cert.genesis ];
+  t
+
+let env t = t.env
+let store t = t.store
+let log t = t.log
+let high_cert t = t.high_cert
+
+let try_deferred t =
+  match t.deferred_commits with
+  | [] -> ()
+  | pending ->
+      let still_deferred =
+        List.filter
+          (fun b ->
+            match Block_store.chain_to t.store b with
+            | Some _ ->
+                ignore (Commit_log.commit t.log t.store b);
+                false
+            | None -> true)
+          pending
+      in
+      t.deferred_commits <- still_deferred
+
+let note_block t b =
+  if Block_store.insert t.store b then try_deferred t
+
+let vote_key ~kind (b : Block.t) =
+  (b.Block.view, Vote_kind.to_tag kind, Hash.to_int b.Block.hash)
+
+let add_vote t ~signer ~kind block =
+  note_block t block;
+  match Bft_crypto.Accumulator.add t.votes (vote_key ~kind block) ~signer with
+  | Threshold_reached signers ->
+      Some
+        (Cert.make ~kind ~view:block.Block.view ~block
+           ~signers:(List.length signers))
+  | Added _ | Duplicate | Already_complete -> None
+
+let certs_at t view =
+  Option.value ~default:[] (Hashtbl.find_opt t.certs_by_view view)
+
+let record_cert t (c : Cert.t) =
+  note_block t c.Cert.block;
+  let existing = certs_at t c.Cert.view in
+  if List.exists (Cert.equal_id c) existing then false
+  else begin
+    Hashtbl.replace t.certs_by_view c.Cert.view (c :: existing);
+    if Cert.rank_gt c t.high_cert then t.high_cert <- c;
+    true
+  end
+
+let chain_commits t ~depth (c : Cert.t) =
+  if depth < 2 then invalid_arg "Node_core.chain_commits: depth < 2";
+  (* For every window of [depth] consecutive views containing c's view, walk
+     parent links down from the window's top certificates; a fully certified
+     chain commits the block at the window's base view. *)
+  let found = ref [] in
+  for base = Stdlib.max 0 (c.Cert.view - depth + 1) to c.Cert.view do
+    let top_view = base + depth - 1 in
+    List.iter
+      (fun (top : Cert.t) ->
+        let rec walk (child : Block.t) v =
+          if v < base then Some child
+          else
+            match
+              List.find_opt
+                (fun (link : Cert.t) -> Cert.certifies_parent_of link child)
+                (certs_at t v)
+            with
+            | Some link -> walk link.Cert.block (v - 1)
+            | None -> None
+        in
+        match walk top.Cert.block (top_view - 1) with
+        | Some bottom
+          when not
+                 (List.exists
+                    (fun (b : Block.t) -> Block.equal b bottom)
+                    !found) ->
+            found := bottom :: !found
+        | Some _ | None -> ())
+      (certs_at t top_view)
+  done;
+  !found
+
+let two_chain_commits t c = chain_commits t ~depth:2 c
+
+let commit t b =
+  match Block_store.chain_to t.store b with
+  | Some _ -> ignore (Commit_log.commit t.log t.store b)
+  | None ->
+      if
+        not
+          (List.exists
+             (fun (d : Block.t) -> Hash.equal d.Block.hash b.Block.hash)
+             t.deferred_commits)
+      then t.deferred_commits <- b :: t.deferred_commits
+
+let committed t = Commit_log.length t.log
+
+let has_deferred t = t.deferred_commits <> []
+
+let first_missing t =
+  let rec probe (child : Block.t) =
+    if Block.is_genesis child then None
+    else
+      match Block_store.find t.store child.Block.parent with
+      | Some parent -> probe parent
+      | None -> Some (child.Block.parent, child.Block.proposer)
+  in
+  List.find_map probe t.deferred_commits
+
+let chain_segment t hash ~max =
+  match Block_store.find t.store hash with
+  | None -> []
+  | Some b ->
+      let rec gather acc count (b : Block.t) =
+        let acc = b :: acc in
+        if count + 1 >= max || Block.is_genesis b then acc
+        else
+          match Block_store.find t.store b.Block.parent with
+          | Some parent -> gather acc (count + 1) parent
+          | None -> acc
+      in
+      gather [] 0 b

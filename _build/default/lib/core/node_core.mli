@@ -1,0 +1,67 @@
+(** State and machinery shared by all Moonshot node implementations: the
+    local block store, the commit log, vote aggregation into certificates,
+    the per-view certificate table and the two-chain commit rule. *)
+
+open Bft_types
+
+type 'msg t
+
+val create : 'msg Env.t -> 'msg t
+val env : 'msg t -> 'msg Env.t
+val store : 'msg t -> Bft_chain.Block_store.t
+val log : 'msg t -> Bft_chain.Commit_log.t
+
+(** Record a block header seen in any message; retries deferred commits. *)
+val note_block : 'msg t -> Block.t -> unit
+
+(** [add_vote t ~signer ~kind block] accumulates a vote.  Returns the
+    freshly completed certificate when this vote was the one that reached a
+    quorum (at most once per (view, kind, block)). *)
+val add_vote : 'msg t -> signer:int -> kind:Vote_kind.t -> Block.t -> Cert.t option
+
+(** [record_cert t c] files a certificate in the per-view table.  Returns
+    [false] when an identical certificate was already recorded.  Does not
+    run the commit rule — callers do that via {!two_chain_commits} so they
+    control ordering relative to their other rules. *)
+val record_cert : 'msg t -> Cert.t -> bool
+
+(** Certificates recorded for a view. *)
+val certs_at : 'msg t -> int -> Cert.t list
+
+(** Highest-ranked certificate recorded so far (genesis initially). *)
+val high_cert : 'msg t -> Cert.t
+
+(** Direct-commit candidates unlocked by a newly recorded certificate
+    [c = C_v(B_k)]: [B_k]'s parent when some recorded [C_{v-1}] certifies it,
+    and [B_k] itself when some recorded [C_{v+1}] certifies a child of [B_k]
+    (Figure 1's Direct Commit, run from both sides). *)
+val two_chain_commits : 'msg t -> Cert.t -> Block.t list
+
+(** Generalized [depth]-chain commit rule: a window of [depth] consecutive
+    views whose recorded certificates form a parent chain commits the block
+    certified at the window's base.  [depth = 2] is the Moonshot/Jolteon
+    rule; [depth = 3] is chained HotStuff's.  Returns the committable blocks
+    unlocked by recording [c].  Raises [Invalid_argument] if [depth < 2]. *)
+val chain_commits : 'msg t -> depth:int -> Cert.t -> Block.t list
+
+(** Commit a block (and its ancestors).  If an ancestor header has not
+    arrived yet the commit is deferred and retried on the next
+    {!note_block}. *)
+val commit : 'msg t -> Block.t -> unit
+
+(** Number of blocks this node has committed (genesis excluded). *)
+val committed : 'msg t -> int
+
+(** {2 Hooks for the block synchronizer ({!Sync})} *)
+
+(** Whether any commit is deferred on missing ancestors. *)
+val has_deferred : 'msg t -> bool
+
+(** The first missing ancestor blocking a deferred commit, with the
+    proposer of its (known) child as a hint for who certainly had it. *)
+val first_missing : 'msg t -> (Hash.t * int) option
+
+(** [chain_segment t hash ~max] is the block with [hash] plus up to
+    [max - 1] of its ancestors present in the store, oldest first; [[]]
+    when the block itself is unknown. *)
+val chain_segment : 'msg t -> Hash.t -> max:int -> Block.t list

@@ -1,0 +1,455 @@
+open Bft_types
+
+(* A view's timeout-message aggregation: distinct senders plus the highest
+   lock they reported (the provable high certificate of any TC formed). *)
+type tmo_entry = {
+  signers : Bft_crypto.Signer_set.t;
+  mutable high : Cert.t option;
+  mutable amplified : bool;
+  mutable tc_formed : bool;
+}
+
+type pending =
+  | P_opt of Block.t
+  | P_normal of Block.t * Cert.t
+  | P_fallback of Block.t * Cert.t * Tc.t
+
+type how_entered = Via_cert of Cert.t | Via_tc of Tc.t | Via_start | Via_recovery
+
+type t = {
+  core : Message.t Node_core.t;
+  env : Message.t Env.t;
+  mutable sync : Message.t Sync.t option;
+  wal : Wal.t option;
+  precommit : bool;
+  equivocate : bool;
+  lso : bool;
+  mutable opt_proposed_view : int;  (* highest view we opt-proposed for *)
+  timeout_aggs : (int, tmo_entry) Hashtbl.t;
+  commit_votes : (int * int) Bft_crypto.Accumulator.t;
+  tcs : (int, Tc.t) Hashtbl.t;
+  pending : (int, pending list) Hashtbl.t;
+  timeout_sent : (int, unit) Hashtbl.t;
+  commit_voted : (int, Block.t) Hashtbl.t;  (* Hash.to_int -> block *)
+  mutable cur_view : int;
+  mutable lock : Cert.t;
+  mutable timeout_view : int;  (* highest view a timeout was sent for; 0 = none *)
+  mutable voted_opt : Block.t option;  (* in cur_view *)
+  mutable voted_main : bool;  (* in cur_view *)
+  mutable cancel_timer : unit -> unit;
+}
+
+let view_timer_multiplier = 3.
+
+let create ?(precommit = false) ?(equivocate = false) ?(lso = false) ?wal env =
+  let t =
+  {
+    core = Node_core.create env;
+    env;
+    sync = None;
+    wal;
+    precommit;
+    equivocate;
+    lso;
+    opt_proposed_view = 0;
+    timeout_aggs = Hashtbl.create 16;
+    commit_votes =
+      Bft_crypto.Accumulator.create ~n:(Env.n env) ~threshold:(Env.quorum env);
+    tcs = Hashtbl.create 16;
+    pending = Hashtbl.create 16;
+    timeout_sent = Hashtbl.create 16;
+    commit_voted = Hashtbl.create 64;
+    cur_view = 0;
+    lock = Cert.genesis;
+    timeout_view = 0;
+    voted_opt = None;
+    voted_main = false;
+    cancel_timer = (fun () -> ());
+  }
+  in
+  t.sync <-
+    Some
+      (Sync.create ~core:t.core ~env
+         ~make_request:(fun hash -> Message.Block_request { hash })
+         ~make_response:(fun blocks -> Message.Blocks_response { blocks }));
+  t
+
+let sync t = Option.get t.sync
+
+(* Persist the safety-critical state; called BEFORE the message that makes
+   it binding is sent, as a durable WAL would be. *)
+let persist t =
+  match t.wal with
+  | None -> ()
+  | Some wal ->
+      Wal.record wal
+        {
+          Wal.cur_view = t.cur_view;
+          lock = t.lock;
+          timeout_view = t.timeout_view;
+          voted_opt = t.voted_opt;
+          voted_main = t.voted_main;
+        }
+
+let current_view t = t.cur_view
+let lock t = t.lock
+let timeout_view t = t.timeout_view
+let committed t = Node_core.committed t.core
+let commit_log t = Node_core.log t.core
+let store t = Node_core.store t.core
+
+let send_proposal t ~view ~parent wrap =
+  Proposal_sender.send t.env ~equivocate:t.equivocate ~view ~parent wrap
+
+(* --- forward declarations via mutual recursion -------------------------- *)
+
+let rec observe_cert t (c : Cert.t) =
+  if Node_core.record_cert t.core c then begin
+    (* Lock rule: adopt any higher-ranked certificate, at any time. *)
+    if Cert.rank_gt c t.lock then begin
+      t.lock <- c;
+      persist t
+    end;
+    (* Two-chain commit rule, run from both sides of the new certificate. *)
+    List.iter (Node_core.commit t.core) (Node_core.two_chain_commits t.core c);
+    if t.precommit then maybe_commit_vote t c;
+    if c.Cert.view >= t.cur_view then
+      advance_to t (c.Cert.view + 1) (Via_cert c)
+    else process_pending t
+  end
+
+and observe_tc t (tc : Tc.t) =
+  (match tc.Tc.high_cert with Some c -> observe_cert t c | None -> ());
+  if not (Hashtbl.mem t.tcs tc.Tc.view) then begin
+    Hashtbl.replace t.tcs tc.Tc.view tc;
+    (* Timeout rule: join a view change evidenced by a TC. *)
+    if tc.Tc.view >= t.cur_view then send_timeout t tc.Tc.view;
+    if tc.Tc.view >= t.cur_view then advance_to t (tc.Tc.view + 1) (Via_tc tc)
+  end
+
+and send_timeout t view =
+  if not (Hashtbl.mem t.timeout_sent view) then begin
+    Hashtbl.replace t.timeout_sent view ();
+    t.timeout_view <- max t.timeout_view view;
+    persist t;
+    t.env.Env.multicast (Message.Timeout { view; lock = Some t.lock })
+  end
+
+and advance_to t view how =
+  if view > t.cur_view then begin
+    (* Advance View: relay the evidence before entering. *)
+    (match how with
+    | Via_cert c -> t.env.Env.multicast (Message.Cert_gossip c)
+    | Via_tc tc -> t.env.Env.send (t.env.Env.leader_of view) (Message.Tc_gossip tc)
+    | Via_start | Via_recovery -> ());
+    t.cur_view <- view;
+    t.voted_opt <- None;
+    t.voted_main <- false;
+    persist t;
+    arm_view_timer t;
+    if Env.is_leader t.env ~view then propose t view how;
+    process_pending t
+  end
+
+and arm_view_timer t =
+  t.cancel_timer ();
+  t.cancel_timer <-
+    t.env.Env.set_timer
+      (view_timer_multiplier *. t.env.Env.delta)
+      (fun () -> on_view_timer t)
+
+(* On expiry, send — or, when stuck in the view, re-multicast — the timeout
+   and re-arm, so view changes survive message loss (a pacemaker-style
+   rebroadcast; receivers deduplicate by signer). *)
+and on_view_timer t =
+  if Hashtbl.mem t.timeout_sent t.cur_view then
+    t.env.Env.multicast
+      (Message.Timeout { view = t.cur_view; lock = Some t.lock })
+  else send_timeout t t.cur_view;
+  arm_view_timer t
+
+and propose t view how =
+  (* The leader-speaks-once variant never proposes twice for a view: having
+     already optimistically proposed, it stays silent — which is exactly
+     what costs it reorg resilience (Section III-B: the adversary can make
+     optimistic proposals fail even after GST, and an LSO leader cannot
+     correct itself). *)
+  if t.lso && t.opt_proposed_view >= view then ()
+  else
+  match how with
+  | Via_recovery ->
+      (* A recovered leader already proposed before the crash (or its view
+         will time out); re-proposing against a stale justification would
+         just be ignored by honest voters. *)
+      ()
+  | Via_start ->
+      send_proposal t ~view ~parent:Block.genesis (fun block ->
+          Message.Propose { block; cert = Cert.genesis })
+  | Via_cert c ->
+      send_proposal t ~view ~parent:c.Cert.block (fun block ->
+          Message.Propose { block; cert = c })
+  | Via_tc tc ->
+      (* The Lock rule ran on the TC's embedded certificate before entering,
+         so lock >= tc.high_cert as the fallback vote rule requires. *)
+      send_proposal t ~view ~parent:t.lock.Cert.block (fun block ->
+          Message.Fb_propose { block; cert = t.lock; tc })
+
+and process_pending t =
+  match Hashtbl.find_opt t.pending t.cur_view with
+  | None -> ()
+  | Some items -> List.iter (try_pending t) (List.rev items)
+
+and try_pending t = function
+  | P_opt block -> try_opt_vote t block
+  | P_normal (block, cert) -> try_normal_vote t block cert
+  | P_fallback (block, cert, tc) -> try_fallback_vote t block cert tc
+
+and try_opt_vote t block =
+  if
+    Safety_rules.valid_proposal_block ~leader_of:t.env.Env.leader_of
+      ~view:t.cur_view block
+    && Safety_rules.pipelined_opt_vote ~lock:t.lock ~view:t.cur_view
+         ~timeout_view:t.timeout_view ~voted_opt:t.voted_opt
+         ~voted_main:t.voted_main ~block
+  then begin
+    t.voted_opt <- Some block;
+    persist t;
+    cast_vote t Vote_kind.Opt block
+  end
+
+and try_normal_vote t block cert =
+  if
+    Safety_rules.valid_proposal_block ~leader_of:t.env.Env.leader_of
+      ~view:t.cur_view block
+    && Safety_rules.pipelined_normal_vote ~view:t.cur_view
+         ~timeout_view:t.timeout_view ~voted_opt:t.voted_opt
+         ~voted_main:t.voted_main ~block ~cert
+  then begin
+    t.voted_main <- true;
+    persist t;
+    cast_vote t Vote_kind.Normal block
+  end
+
+and try_fallback_vote t block cert tc =
+  if
+    Safety_rules.valid_proposal_block ~leader_of:t.env.Env.leader_of
+      ~view:t.cur_view block
+    && Safety_rules.pipelined_fb_vote ~view:t.cur_view
+         ~timeout_view:t.timeout_view ~voted_main:t.voted_main ~block ~cert ~tc
+  then begin
+    t.voted_main <- true;
+    persist t;
+    cast_vote t Vote_kind.Fallback block
+  end
+
+and cast_vote t kind (block : Block.t) =
+  t.env.Env.multicast (Message.Vote { kind; block });
+  (* Optimistic Propose: the next leader extends the block it just voted
+     for, without waiting to observe its certification. *)
+  let next = block.Block.view + 1 in
+  if Env.is_leader t.env ~view:next then begin
+    t.opt_proposed_view <- max t.opt_proposed_view next;
+    send_proposal t ~view:next ~parent:block (fun b ->
+        Message.Opt_propose { block = b })
+  end
+
+(* --- Commit Moonshot's pre-commit phase --------------------------------- *)
+
+and maybe_commit_vote t (c : Cert.t) =
+  let block = c.Cert.block in
+  let already = Hashtbl.mem t.commit_voted (Hash.to_int block.Block.hash) in
+  if not already then begin
+    let direct =
+      Safety_rules.direct_precommit ~view:t.cur_view
+        ~timeout_view:t.timeout_view ~cert_view:c.Cert.view
+    in
+    let indirect () =
+      Safety_rules.indirect_precommit ~timeout_view:t.timeout_view
+        ~cert_view:c.Cert.view ~voted_descendant:(has_commit_voted_descendant t block)
+    in
+    if direct || indirect () then begin
+      prune_commit_voted t;
+      Hashtbl.replace t.commit_voted (Hash.to_int block.Block.hash) block;
+      t.env.Env.multicast (Message.Commit_vote { view = c.Cert.view; block })
+    end
+  end
+
+and has_commit_voted_descendant t (block : Block.t) =
+  let store = Node_core.store t.core in
+  Hashtbl.fold
+    (fun _ (voted : Block.t) acc ->
+      acc
+      ||
+      match Bft_chain.Block_store.is_ancestor store ~ancestor:block ~of_:voted with
+      | `Yes -> true
+      | `No | `Unknown -> false)
+    t.commit_voted false
+
+and prune_commit_voted t =
+  (* Blocks at or below the committed frontier can never need an indirect
+     pre-commit again; drop them to keep descendant checks cheap. *)
+  if Hashtbl.length t.commit_voted > 64 then begin
+    let frontier =
+      (Bft_chain.Commit_log.last (Node_core.log t.core)).Block.height
+    in
+    let stale =
+      Hashtbl.fold
+        (fun k (b : Block.t) acc ->
+          if b.Block.height <= frontier then k :: acc else acc)
+        t.commit_voted []
+    in
+    List.iter (Hashtbl.remove t.commit_voted) stale
+  end
+
+(* --- message handlers ---------------------------------------------------- *)
+
+let buffer t view p =
+  if view >= t.cur_view then begin
+    let items = Option.value ~default:[] (Hashtbl.find_opt t.pending view) in
+    Hashtbl.replace t.pending view (p :: items);
+    (* Garbage-collect buffers for views we have left behind. *)
+    Hashtbl.iter
+      (fun v _ -> if v < t.cur_view then Hashtbl.remove t.pending v)
+      (Hashtbl.copy t.pending)
+  end
+
+let on_timeout t ~src view lock =
+  (match lock with Some c -> observe_cert t c | None -> ());
+  let entry =
+    match Hashtbl.find_opt t.timeout_aggs view with
+    | Some e -> e
+    | None ->
+        let e =
+          {
+            signers = Bft_crypto.Signer_set.create ~n:(Env.n t.env);
+            high = None;
+            amplified = false;
+            tc_formed = false;
+          }
+        in
+        Hashtbl.replace t.timeout_aggs view e;
+        e
+  in
+  if Bft_crypto.Signer_set.add entry.signers src then begin
+    (match (lock, entry.high) with
+    | Some c, Some h when Cert.rank_gt c h -> entry.high <- Some c
+    | Some c, None -> entry.high <- Some c
+    | _ -> ());
+    let count = Bft_crypto.Signer_set.count entry.signers in
+    if
+      count >= Env.weak_quorum t.env
+      && (not entry.amplified)
+      && view >= t.cur_view
+    then begin
+      entry.amplified <- true;
+      send_timeout t view
+    end;
+    if count >= Env.quorum t.env && not entry.tc_formed then begin
+      entry.tc_formed <- true;
+      observe_tc t (Tc.make ~view ~high_cert:entry.high ~signers:count)
+    end
+  end
+
+let on_commit_vote t ~src view (block : Block.t) =
+  Node_core.note_block t.core block;
+  match
+    Bft_crypto.Accumulator.add t.commit_votes
+      (view, Hash.to_int block.Block.hash)
+      ~signer:src
+  with
+  | Threshold_reached _ -> Node_core.commit t.core block
+  | Added _ | Duplicate | Already_complete -> ()
+
+let handle t ~src msg =
+  match msg with
+  | Message.Opt_propose { block } ->
+      Node_core.note_block t.core block;
+      buffer t block.Block.view (P_opt block);
+      process_pending t
+  | Message.Propose { block; cert } ->
+      Node_core.note_block t.core block;
+      buffer t block.Block.view (P_normal (block, cert));
+      observe_cert t cert;
+      process_pending t
+  | Message.Fb_propose { block; cert; tc } ->
+      Node_core.note_block t.core block;
+      buffer t block.Block.view (P_fallback (block, cert, tc));
+      observe_cert t cert;
+      observe_tc t tc;
+      process_pending t
+  | Message.Vote { kind; block } -> (
+      match Node_core.add_vote t.core ~signer:src ~kind block with
+      | Some cert -> observe_cert t cert
+      | None -> ())
+  | Message.Timeout { view; lock } -> on_timeout t ~src view lock
+  | Message.Cert_gossip c -> observe_cert t c
+  | Message.Tc_gossip tc -> observe_tc t tc
+  | Message.Status _ -> ()  (* Simple Moonshot only. *)
+  | Message.Commit_vote { view; block } ->
+      if t.precommit then on_commit_vote t ~src view block
+  | Message.Block_request { hash } -> Sync.handle_request (sync t) ~src hash
+  | Message.Blocks_response { blocks } -> Sync.handle_response (sync t) blocks
+
+(* Run the message, then let the synchronizer chase any commit that is now
+   deferred on missing ancestors. *)
+let handle t ~src msg =
+  handle t ~src msg;
+  Sync.poke (sync t)
+
+let start t =
+  match Option.map Wal.load t.wal with
+  | Some (Some saved) ->
+      (* Crash recovery: resume from the recorded view with the recorded
+         lock and vote slots; the block synchronizer refills the store. *)
+      ignore (Node_core.record_cert t.core saved.Wal.lock);
+      t.lock <- saved.Wal.lock;
+      t.timeout_view <- saved.Wal.timeout_view;
+      advance_to t saved.Wal.cur_view Via_recovery;
+      t.voted_opt <- saved.Wal.voted_opt;
+      t.voted_main <- saved.Wal.voted_main;
+      (* Re-persist: a second crash must still see the restored vote slots
+         (advance_to recorded the cleared ones). *)
+      persist t
+  | Some None | None -> advance_to t 1 Via_start
+
+module Protocol = struct
+  type msg = Message.t
+
+  let msg_size = Message.size
+  let cpu_cost = Message.cpu_cost
+  let classify = Message.classify
+
+  type node = t
+
+  let create ?(equivocate = false) env = create ~precommit:false ~equivocate env
+  let start = start
+  let handle = handle
+end
+
+module Commit_protocol = struct
+  type msg = Message.t
+
+  let msg_size = Message.size
+  let cpu_cost = Message.cpu_cost
+  let classify = Message.classify
+
+  type node = t
+
+  let create ?(equivocate = false) env = create ~precommit:true ~equivocate env
+  let start = start
+  let handle = handle
+end
+
+module Lso_protocol = struct
+  type msg = Message.t
+
+  let msg_size = Message.size
+  let cpu_cost = Message.cpu_cost
+  let classify = Message.classify
+
+  type node = t
+
+  let create ?(equivocate = false) env = create ~lso:true ~equivocate env
+  let start = start
+  let handle = handle
+end

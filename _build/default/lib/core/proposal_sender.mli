@@ -1,0 +1,24 @@
+(** Block creation and proposal dissemination, shared by all Moonshot node
+    implementations.
+
+    Honest leaders build the deterministic block for a view (fixed payload
+    [b_v], so an optimistic and a normal proposal with the same parent carry
+    the same block) and multicast it.  With [equivocate:true] the sender
+    behaves Byzantine: it crafts a conflicting block and serves each half of
+    the network a different one — the attack the safety tests exercise. *)
+
+open Bft_types
+
+(** [honest_block env ~view ~parent] is the unique block an honest [env.id]
+    proposes for [view] on top of [parent]. *)
+val honest_block : Message.t Env.t -> view:int -> parent:Block.t -> Block.t
+
+(** [send env ~equivocate ~view ~parent wrap] builds the block(s), reports
+    them via [env.on_propose] and disseminates [wrap block]. *)
+val send :
+  Message.t Env.t ->
+  equivocate:bool ->
+  view:int ->
+  parent:Block.t ->
+  (Block.t -> Message.t) ->
+  unit

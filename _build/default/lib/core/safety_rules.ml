@@ -1,0 +1,55 @@
+open Bft_types
+
+let valid_proposal_block ~leader_of ~view (b : Block.t) =
+  b.Block.view = view && b.Block.proposer = leader_of view
+
+let lock_certifies_parent ~(lock : Cert.t) ~view (b : Block.t) =
+  lock.Cert.view = view - 1 && Cert.certifies_parent_of lock b
+
+(* --- Simple Moonshot --------------------------------------------------- *)
+
+let simple_opt_vote ~lock ~view ~voted ~timed_out ~block =
+  (not voted) && (not timed_out)
+  && block.Block.view = view
+  && lock_certifies_parent ~lock ~view block
+
+let simple_normal_vote ~lock ~view ~voted ~timed_out ~block ~cert =
+  (not voted) && (not timed_out)
+  && block.Block.view = view
+  && Cert.rank_geq cert lock
+  && Cert.certifies_parent_of cert block
+
+(* --- Pipelined / Commit Moonshot --------------------------------------- *)
+
+let pipelined_opt_vote ~lock ~view ~timeout_view ~voted_opt ~voted_main ~block =
+  timeout_view < view - 1
+  && voted_opt = None && (not voted_main)
+  && block.Block.view = view
+  && lock_certifies_parent ~lock ~view block
+
+let pipelined_normal_vote ~view ~timeout_view ~voted_opt ~voted_main ~block ~cert
+    =
+  let no_equivocating_opt_vote =
+    match voted_opt with
+    | None -> true
+    | Some b -> Block.equal b block
+  in
+  timeout_view < view && (not voted_main) && no_equivocating_opt_vote
+  && block.Block.view = view
+  && cert.Cert.view = view - 1
+  && Cert.certifies_parent_of cert block
+
+let pipelined_fb_vote ~view ~timeout_view ~voted_main ~block ~cert ~tc =
+  timeout_view < view && (not voted_main)
+  && block.Block.view = view
+  && tc.Tc.view = view - 1
+  && Cert.certifies_parent_of cert block
+  && cert.Cert.view >= Tc.high_cert_view tc
+
+(* --- Commit Moonshot ---------------------------------------------------- *)
+
+let direct_precommit ~view ~timeout_view ~cert_view =
+  view <= cert_view && timeout_view < cert_view
+
+let indirect_precommit ~timeout_view ~cert_view ~voted_descendant =
+  voted_descendant && timeout_view < cert_view

@@ -1,0 +1,89 @@
+(** The voting rules of the Moonshot protocols, as pure predicates.
+
+    Everything that decides whether a node may vote lives here, decoupled
+    from message plumbing, so each clause of Figures 1 and 3 of the paper is
+    unit-testable in isolation.  All predicates take the voter's local state
+    as named arguments and the proposal's contents, and say whether the
+    corresponding vote may be cast.
+
+    Conventions: [view] is the voter's current view; [timeout_view] is the
+    highest view the voter has sent a timeout message for ([0] when none,
+    views being positive). *)
+
+open Bft_types
+
+(** Structural validity common to all proposals: the block was proposed for
+    [view] by the leader of [view]. *)
+val valid_proposal_block : leader_of:(int -> int) -> view:int -> Block.t -> bool
+
+(** {1 Simple Moonshot (Figure 1)} — one vote per view, lock updated only on
+    view entry, voting stops after a timeout for the current view. *)
+
+(** Vote rule 2a: optimistic proposal [block] for [view] extending
+    [block.parent]; requires the voter's lock to be a view-[view - 1]
+    certificate for the parent. *)
+val simple_opt_vote :
+  lock:Cert.t -> view:int -> voted:bool -> timed_out:bool -> block:Block.t -> bool
+
+(** Vote rule 2b: normal proposal [block] justified by [cert]; requires
+    [cert >= lock] and [block] to directly extend the certified block. *)
+val simple_normal_vote :
+  lock:Cert.t ->
+  view:int ->
+  voted:bool ->
+  timed_out:bool ->
+  block:Block.t ->
+  cert:Cert.t ->
+  bool
+
+(** {1 Pipelined / Commit Moonshot (Figure 3)} — at most one optimistic vote
+    plus one normal-or-fallback vote per view. *)
+
+(** Vote rule 2a: requires [timeout_view < view - 1], the lock to certify the
+    parent at view [view - 1], and no vote of any kind cast in [view]. *)
+val pipelined_opt_vote :
+  lock:Cert.t ->
+  view:int ->
+  timeout_view:int ->
+  voted_opt:Block.t option ->
+  voted_main:bool ->
+  block:Block.t ->
+  bool
+
+(** Vote rule 2b-i: normal proposal with a view-[view - 1] certificate for
+    the direct parent; allowed after an optimistic vote only for the same
+    block (never for an equivocating one). *)
+val pipelined_normal_vote :
+  view:int ->
+  timeout_view:int ->
+  voted_opt:Block.t option ->
+  voted_main:bool ->
+  block:Block.t ->
+  cert:Cert.t ->
+  bool
+
+(** Vote rule 2b-ii: fallback proposal justified by [tc] for view
+    [view - 1]; [cert] must rank at least as high as the highest certificate
+    aggregated in [tc].  Notably the voter's own lock is {e not} consulted
+    (Section IV-B explains why this is safe). *)
+val pipelined_fb_vote :
+  view:int ->
+  timeout_view:int ->
+  voted_main:bool ->
+  block:Block.t ->
+  cert:Cert.t ->
+  tc:Tc.t ->
+  bool
+
+(** {1 Commit Moonshot (Figure 4)} *)
+
+(** Direct pre-commit: on receiving a certificate for view [cert_view] while
+    in a view [<= cert_view], having not timed out of [cert_view]. *)
+val direct_precommit : view:int -> timeout_view:int -> cert_view:int -> bool
+
+(** Indirect pre-commit: on receiving a certificate for an ancestor of a
+    block already commit-voted for, having not timed out of its view.
+    [voted_descendant] says whether some commit-voted block descends from the
+    certified one. *)
+val indirect_precommit :
+  timeout_view:int -> cert_view:int -> voted_descendant:bool -> bool

@@ -1,0 +1,265 @@
+open Bft_types
+
+type tmo_entry = {
+  signers : Bft_crypto.Signer_set.t;
+  mutable tc_formed : bool;
+}
+
+type pending = P_opt of Block.t | P_normal of Block.t * Cert.t
+
+type how_entered = Via_cert of Cert.t | Via_tc of Tc.t | Via_start
+
+type t = {
+  core : Message.t Node_core.t;
+  env : Message.t Env.t;
+  mutable sync : Message.t Sync.t option;
+  equivocate : bool;
+  timeout_aggs : (int, tmo_entry) Hashtbl.t;
+  tcs : (int, Tc.t) Hashtbl.t;
+  pending : (int, pending list) Hashtbl.t;
+  mutable cur_view : int;
+  mutable lock : Cert.t;
+  mutable voted : bool;  (* in cur_view *)
+  mutable timed_out : bool;  (* of cur_view: stop voting *)
+  mutable proposed : bool;  (* as leader of cur_view *)
+  mutable cancel_view_timer : unit -> unit;
+  mutable cancel_propose_timer : unit -> unit;
+}
+
+let view_timer_multiplier = 5.
+let propose_wait_multiplier = 2.
+
+let create ?(equivocate = false) env =
+  let t =
+  {
+    core = Node_core.create env;
+    env;
+    sync = None;
+    equivocate;
+    timeout_aggs = Hashtbl.create 16;
+    tcs = Hashtbl.create 16;
+    pending = Hashtbl.create 16;
+    cur_view = 0;
+    lock = Cert.genesis;
+    voted = false;
+    timed_out = false;
+    proposed = false;
+    cancel_view_timer = (fun () -> ());
+    cancel_propose_timer = (fun () -> ());
+  }
+  in
+  t.sync <-
+    Some
+      (Sync.create ~core:t.core ~env
+         ~make_request:(fun hash -> Message.Block_request { hash })
+         ~make_response:(fun blocks -> Message.Blocks_response { blocks }));
+  t
+
+let sync t = Option.get t.sync
+
+let current_view t = t.cur_view
+let lock t = t.lock
+let committed t = Node_core.committed t.core
+let commit_log t = Node_core.log t.core
+let store t = Node_core.store t.core
+
+let send_proposal t ~view ~parent wrap =
+  Proposal_sender.send t.env ~equivocate:t.equivocate ~view ~parent wrap
+
+(* --- core flows, mutually recursive -------------------------------------- *)
+
+let rec observe_cert t (c : Cert.t) =
+  if Node_core.record_cert t.core c then begin
+    List.iter (Node_core.commit t.core) (Node_core.two_chain_commits t.core c);
+    if c.Cert.view >= t.cur_view then advance_to t (c.Cert.view + 1) (Via_cert c)
+    else if
+      (* Propose rule (i): the leader proposes upon receiving the previous
+         view's certificate within 2 Delta of entering. *)
+      c.Cert.view = t.cur_view - 1
+      && Env.is_leader t.env ~view:t.cur_view
+      && not t.proposed
+    then propose_with_cert t c
+  end
+
+and observe_tc t (tc : Tc.t) =
+  if not (Hashtbl.mem t.tcs tc.Tc.view) then begin
+    Hashtbl.replace t.tcs tc.Tc.view tc;
+    if tc.Tc.view >= t.cur_view then advance_to t (tc.Tc.view + 1) (Via_tc tc)
+  end
+
+and advance_to t view how =
+  if view > t.cur_view then begin
+    (* Advance View rule: multicast the justifying certificate, adopt the
+       highest block certificate received so far as the lock, and report it
+       to the new leader when it is stale. *)
+    (match how with
+    | Via_cert c -> t.env.Env.multicast (Message.Cert_gossip c)
+    | Via_tc tc -> t.env.Env.multicast (Message.Tc_gossip tc)
+    | Via_start -> ());
+    t.lock <- Node_core.high_cert t.core;
+    if t.lock.Cert.view < view - 1 then
+      t.env.Env.send (t.env.Env.leader_of view)
+        (Message.Status { view; lock = t.lock });
+    t.cur_view <- view;
+    t.voted <- false;
+    t.timed_out <- false;
+    t.proposed <- false;
+    t.cancel_propose_timer ();
+    arm_view_timer t;
+    if Env.is_leader t.env ~view then begin
+      let high = Node_core.high_cert t.core in
+      if high.Cert.view = view - 1 then propose_with_cert t high
+      else
+        t.cancel_propose_timer <-
+          t.env.Env.set_timer
+            (propose_wait_multiplier *. t.env.Env.delta)
+            (fun () -> propose_fallback t)
+    end;
+    process_pending t
+  end
+
+and propose_with_cert t (c : Cert.t) =
+  t.proposed <- true;
+  t.cancel_propose_timer ();
+  send_proposal t ~view:t.cur_view ~parent:c.Cert.block (fun block ->
+      Message.Propose { block; cert = c })
+
+and propose_fallback t =
+  (* Propose rule (ii): 2 Delta elapsed; extend the highest certificate
+     known, which by then includes every honest lock (status messages). *)
+  if not t.proposed then propose_with_cert t (Node_core.high_cert t.core)
+
+and arm_view_timer t =
+  t.cancel_view_timer ();
+  t.cancel_view_timer <-
+    t.env.Env.set_timer
+      (view_timer_multiplier *. t.env.Env.delta)
+      (fun () -> on_view_timer_expiry t)
+
+(* Rebroadcast while stuck, so view changes survive message loss. *)
+and on_view_timer_expiry t =
+  if t.timed_out then
+    t.env.Env.multicast (Message.Timeout { view = t.cur_view; lock = None })
+  else local_timeout t;
+  arm_view_timer t
+
+and local_timeout t =
+  if not t.timed_out then begin
+    t.timed_out <- true;
+    t.env.Env.multicast (Message.Timeout { view = t.cur_view; lock = None })
+  end
+
+and process_pending t =
+  (match Hashtbl.find_opt t.pending t.cur_view with
+  | None -> ()
+  | Some items -> List.iter (try_pending t) (List.rev items));
+  Hashtbl.iter
+    (fun v _ -> if v < t.cur_view then Hashtbl.remove t.pending v)
+    (Hashtbl.copy t.pending)
+
+and try_pending t = function
+  | P_opt block -> try_opt_vote t block
+  | P_normal (block, cert) -> try_normal_vote t block cert
+
+and try_opt_vote t block =
+  if
+    Safety_rules.valid_proposal_block ~leader_of:t.env.Env.leader_of
+      ~view:t.cur_view block
+    && Safety_rules.simple_opt_vote ~lock:t.lock ~view:t.cur_view
+         ~voted:t.voted ~timed_out:t.timed_out ~block
+  then cast_vote t block
+
+and try_normal_vote t block cert =
+  if
+    Safety_rules.valid_proposal_block ~leader_of:t.env.Env.leader_of
+      ~view:t.cur_view block
+    && Safety_rules.simple_normal_vote ~lock:t.lock ~view:t.cur_view
+         ~voted:t.voted ~timed_out:t.timed_out ~block ~cert
+  then cast_vote t block
+
+and cast_vote t (block : Block.t) =
+  t.voted <- true;
+  t.env.Env.multicast (Message.Vote { kind = Vote_kind.Normal; block });
+  let next = block.Block.view + 1 in
+  if Env.is_leader t.env ~view:next then
+    send_proposal t ~view:next ~parent:block (fun b ->
+        Message.Opt_propose { block = b })
+
+(* --- message handlers ----------------------------------------------------- *)
+
+let buffer t view p =
+  if view >= t.cur_view then begin
+    let items = Option.value ~default:[] (Hashtbl.find_opt t.pending view) in
+    Hashtbl.replace t.pending view (p :: items)
+  end
+
+let on_timeout t ~src view =
+  let entry =
+    match Hashtbl.find_opt t.timeout_aggs view with
+    | Some e -> e
+    | None ->
+        let e =
+          {
+            signers = Bft_crypto.Signer_set.create ~n:(Env.n t.env);
+            tc_formed = false;
+          }
+        in
+        Hashtbl.replace t.timeout_aggs view e;
+        e
+  in
+  if Bft_crypto.Signer_set.add entry.signers src then begin
+    let count = Bft_crypto.Signer_set.count entry.signers in
+    (* Timeout rule: join a view change once a weak quorum (and hence at
+       least one honest node) requests it for the current view. *)
+    if count >= Env.weak_quorum t.env && view = t.cur_view then local_timeout t;
+    if count >= Env.quorum t.env && not entry.tc_formed then begin
+      entry.tc_formed <- true;
+      observe_tc t (Tc.make ~view ~high_cert:None ~signers:count)
+    end
+  end
+
+let handle t ~src msg =
+  match msg with
+  | Message.Opt_propose { block } ->
+      Node_core.note_block t.core block;
+      buffer t block.Block.view (P_opt block);
+      process_pending t
+  | Message.Propose { block; cert } ->
+      Node_core.note_block t.core block;
+      buffer t block.Block.view (P_normal (block, cert));
+      observe_cert t cert;
+      process_pending t
+  | Message.Vote { kind = _; block } -> (
+      match
+        Node_core.add_vote t.core ~signer:src ~kind:Vote_kind.Normal block
+      with
+      | Some cert -> observe_cert t cert
+      | None -> ())
+  | Message.Timeout { view; lock = _ } -> on_timeout t ~src view
+  | Message.Cert_gossip c -> observe_cert t c
+  | Message.Tc_gossip tc -> observe_tc t tc
+  | Message.Status { lock; _ } -> observe_cert t lock
+  | Message.Fb_propose _ | Message.Commit_vote _ ->
+      ()  (* Not part of Simple Moonshot. *)
+  | Message.Block_request { hash } -> Sync.handle_request (sync t) ~src hash
+  | Message.Blocks_response { blocks } -> Sync.handle_response (sync t) blocks
+
+let handle t ~src msg =
+  handle t ~src msg;
+  Sync.poke (sync t)
+
+let start t = advance_to t 1 Via_start
+
+module Protocol = struct
+  type msg = Message.t
+
+  let msg_size = Message.size
+  let cpu_cost = Message.cpu_cost
+  let classify = Message.classify
+
+  type node = t
+
+  let create ?(equivocate = false) env = create ~equivocate env
+  let start = start
+  let handle = handle
+end

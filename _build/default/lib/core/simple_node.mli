@@ -1,0 +1,25 @@
+(** Simple Moonshot (Figure 1).
+
+    The first Moonshot protocol: one untyped vote per view, locks updated
+    only on view transitions, status messages reporting locks to the next
+    leader, a 2-Delta proposal wait after entering a view without the
+    previous view's certificate, and a 5-Delta view timer.  Optimistically
+    responsive only under consecutive honest leaders. *)
+
+open Bft_types
+
+type t
+
+val create : ?equivocate:bool -> Message.t Env.t -> t
+val start : t -> unit
+val handle : t -> src:int -> Message.t -> unit
+
+(** {2 Introspection (tests, metrics)} *)
+
+val current_view : t -> int
+val lock : t -> Cert.t
+val committed : t -> int
+val commit_log : t -> Bft_chain.Commit_log.t
+val store : t -> Bft_chain.Block_store.t
+
+module Protocol : Bft_types.Protocol_intf.S with type msg = Message.t and type node = t

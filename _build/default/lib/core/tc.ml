@@ -1,0 +1,26 @@
+open Bft_types
+
+type t = { view : int; high_cert : Cert.t option; signers : int }
+
+let make ~view ~high_cert ~signers =
+  if signers < 1 then invalid_arg "Tc.make: empty timeout certificate";
+  if view <= 0 then invalid_arg "Tc.make: view must be positive";
+  { view; high_cert; signers }
+
+let high_cert_view t =
+  match t.high_cert with None -> -1 | Some c -> c.Cert.view
+
+(* Per aggregated timeout: signature + node id + view + claimed lock rank
+   (view + block hash). *)
+let per_timeout =
+  Wire_size.signature + Wire_size.node_id + Wire_size.view + Wire_size.view
+  + Wire_size.hash
+
+let wire_size t =
+  let cert = match t.high_cert with None -> 0 | Some c -> Cert.wire_size c in
+  Wire_size.view + (t.signers * per_timeout) + cert
+
+let pp ppf t =
+  Format.fprintf ppf "TC_%d(high=%a)" t.view
+    (Format.pp_print_option Cert.pp)
+    t.high_cert

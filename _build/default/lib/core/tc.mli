@@ -1,0 +1,27 @@
+(** Timeout certificates.
+
+    A view-[v] timeout certificate [TC_v] aggregates a quorum of distinct
+    signed timeout messages for [v].  In Pipelined/Commit Moonshot each
+    timeout carries its sender's lock, and the TC proves the highest ranked
+    block certificate among them ([high_cert]); a fallback proposal justified
+    by the TC must extend a certificate ranking at least as high.  Simple
+    Moonshot's timeouts carry no lock ([high_cert = None]).
+
+    Wire size follows the array-of-signatures implementation the paper
+    evaluates: the TC carries one signed rank claim per timeout plus the one
+    full highest certificate — linear in [n], as the paper notes. *)
+
+type t = private {
+  view : int;
+  high_cert : Cert.t option;
+  signers : int;
+}
+
+(** Raises [Invalid_argument] if [signers < 1] or [view <= 0]. *)
+val make : view:int -> high_cert:Cert.t option -> signers:int -> t
+
+(** Rank of the highest embedded certificate; [-1] when none. *)
+val high_cert_view : t -> int
+
+val wire_size : t -> int
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,150 @@
+type model = Partially_synchronous | Synchronous
+type responsiveness = Not_responsive | Consecutive_honest | Standard
+
+type row = {
+  name : string;
+  model : model;
+  min_commit_latency : string;
+  min_block_period : string;
+  reorg_resilient : bool;
+  view_length : string;
+  pipelined : bool;
+  steady_state_cc : string;
+  view_change_cc : string;
+  responsiveness : responsiveness;
+}
+
+let psync = Partially_synchronous
+
+let hotstuff =
+  {
+    name = "HotStuff";
+    model = psync;
+    min_commit_latency = "7d";
+    min_block_period = "2d";
+    reorg_resilient = false;
+    view_length = "4D";
+    pipelined = true;
+    steady_state_cc = "O(n)";
+    view_change_cc = "O(n)";
+    responsiveness = Standard;
+  }
+
+let fast_hotstuff =
+  {
+    hotstuff with
+    name = "Fast-HotStuff";
+    min_commit_latency = "5d";
+    view_change_cc = "O(n^2)";
+  }
+
+let jolteon = { fast_hotstuff with name = "Jolteon" }
+
+let hotstuff2 =
+  {
+    fast_hotstuff with
+    name = "HotStuff-2";
+    view_length = "7D";
+    view_change_cc = "O(n)";
+  }
+
+let pala =
+  {
+    name = "PaLa";
+    model = psync;
+    min_commit_latency = "4d";
+    min_block_period = "2d";
+    reorg_resilient = false;
+    view_length = "5D";
+    pipelined = true;
+    steady_state_cc = "O(n^2)";
+    view_change_cc = "O(n^2)";
+    responsiveness = Standard;
+  }
+
+let icc =
+  {
+    pala with
+    name = "ICC";
+    min_commit_latency = "3d";
+    view_length = "4D";
+    pipelined = false;
+  }
+
+let simplex =
+  {
+    icc with
+    name = "Simplex";
+    view_length = "3D";
+    steady_state_cc = "Unbounded";
+    responsiveness = Not_responsive;
+  }
+
+let apollo =
+  {
+    name = "Apollo";
+    model = Synchronous;
+    min_commit_latency = "(f+1)d";
+    min_block_period = "d";
+    reorg_resilient = true;
+    view_length = "4D";
+    pipelined = false;
+    steady_state_cc = "O(n)";
+    view_change_cc = "O(n^2)";
+    responsiveness = Not_responsive;
+  }
+
+let simple_moonshot =
+  {
+    name = "Simple Moonshot";
+    model = psync;
+    min_commit_latency = "3d";
+    min_block_period = "d";
+    reorg_resilient = true;
+    view_length = "5D";
+    pipelined = true;
+    steady_state_cc = "O(n^2)";
+    view_change_cc = "O(n^2)";
+    responsiveness = Consecutive_honest;
+  }
+
+let pipelined_moonshot =
+  { simple_moonshot with name = "Pipelined Moonshot"; view_length = "3D";
+    responsiveness = Standard }
+
+let commit_moonshot =
+  { pipelined_moonshot with name = "Commit Moonshot"; pipelined = false }
+
+let table1 =
+  [
+    hotstuff; fast_hotstuff; jolteon; hotstuff2; pala; icc; simplex; apollo;
+    simple_moonshot; pipelined_moonshot; commit_moonshot;
+  ]
+
+let model_str = function Partially_synchronous -> "psync" | Synchronous -> "sync"
+
+let resp_str = function
+  | Not_responsive -> "-"
+  | Consecutive_honest -> "consecutive-honest"
+  | Standard -> "standard"
+
+let print ppf =
+  Format.fprintf ppf
+    "%-19s %-6s %-8s %-7s %-6s %-5s %-5s %-10s %-10s %s@."
+    "Protocol" "Model" "Commit" "Period" "Reorg" "View" "Pipe"
+    "Steady-CC" "VC-CC" "Responsiveness";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf
+        "%-19s %-6s %-8s %-7s %-6s %-5s %-5s %-10s %-10s %s@." r.name
+        (model_str r.model) r.min_commit_latency r.min_block_period
+        (if r.reorg_resilient then "yes" else "no")
+        r.view_length
+        (if r.pipelined then "yes" else "no")
+        r.steady_state_cc r.view_change_cc (resp_str r.responsiveness))
+    table1
+
+let moonshot_commit_hops = 3
+let moonshot_block_period_hops = 1
+let jolteon_commit_hops = 5
+let jolteon_block_period_hops = 2

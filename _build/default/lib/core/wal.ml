@@ -1,0 +1,20 @@
+open Bft_types
+
+type state = {
+  cur_view : int;
+  lock : Cert.t;
+  timeout_view : int;
+  voted_opt : Block.t option;
+  voted_main : bool;
+}
+
+type t = { mutable latest : state option; mutable writes : int }
+
+let create () = { latest = None; writes = 0 }
+
+let record t state =
+  t.latest <- Some state;
+  t.writes <- t.writes + 1
+
+let load t = t.latest
+let writes t = t.writes

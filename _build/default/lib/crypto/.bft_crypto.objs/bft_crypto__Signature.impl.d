@@ -1,0 +1,1 @@
+lib/crypto/signature.ml: Bft_types Format

@@ -1,0 +1,1 @@
+lib/crypto/signer_set.mli:

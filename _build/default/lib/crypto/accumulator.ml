@@ -1,0 +1,43 @@
+type 'k entry = { signers : Signer_set.t; mutable complete : bool }
+type 'k t = { table : ('k, 'k entry) Hashtbl.t; n : int; threshold : int }
+
+let create ~n ~threshold =
+  if threshold < 1 then invalid_arg "Accumulator.create: threshold < 1";
+  { table = Hashtbl.create 64; n; threshold }
+
+type outcome =
+  | Added of int
+  | Duplicate
+  | Threshold_reached of int list
+  | Already_complete
+
+let entry t key =
+  match Hashtbl.find_opt t.table key with
+  | Some e -> e
+  | None ->
+      let e = { signers = Signer_set.create ~n:t.n; complete = false } in
+      Hashtbl.add t.table key e;
+      e
+
+let add t key ~signer =
+  let e = entry t key in
+  if not (Signer_set.add e.signers signer) then Duplicate
+  else if e.complete then Already_complete
+  else begin
+    let c = Signer_set.count e.signers in
+    if c >= t.threshold then begin
+      e.complete <- true;
+      Threshold_reached (Signer_set.to_list e.signers)
+    end
+    else Added c
+  end
+
+let count t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> 0
+  | Some e -> Signer_set.count e.signers
+
+let is_complete t key =
+  match Hashtbl.find_opt t.table key with
+  | None -> false
+  | Some e -> e.complete

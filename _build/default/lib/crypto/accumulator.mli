@@ -1,0 +1,27 @@
+(** Keyed quorum accumulation.
+
+    Collects signer contributions per key (e.g. per [(view, vote-kind,
+    block-hash)]) and reports exactly once when a key first reaches the
+    threshold.  This is the machinery every node uses to assemble block
+    certificates, timeout certificates and commit-vote quorums from
+    multicast messages. *)
+
+type 'k t
+
+(** [create ~n ~threshold] accumulates signers in [0 .. n-1] and fires when a
+    key reaches [threshold] distinct signers. *)
+val create : n:int -> threshold:int -> 'k t
+
+type outcome =
+  | Added of int  (** New contribution; payload is the updated count. *)
+  | Duplicate  (** This signer already contributed to this key. *)
+  | Threshold_reached of int list
+      (** This contribution was the one that completed the quorum; carries
+          the signer list.  Fires at most once per key. *)
+  | Already_complete  (** Contribution past an already reached quorum. *)
+
+(** [add t key ~signer] registers a contribution. *)
+val add : 'k t -> 'k -> signer:int -> outcome
+
+val count : 'k t -> 'k -> int
+val is_complete : 'k t -> 'k -> bool

@@ -1,0 +1,10 @@
+type t = { by : int; digest : Bft_types.Hash.t }
+
+let sign ~signer digest = { by = signer; digest }
+let signer t = t.by
+
+let verify t ~signer digest =
+  t.by = signer && Bft_types.Hash.equal t.digest digest
+
+let pp ppf t =
+  Format.fprintf ppf "sig(%d over %a)" t.by Bft_types.Hash.pp t.digest

@@ -1,0 +1,21 @@
+(** Simulated digital signatures.
+
+    The simulator's channels are authenticated and the adversary is
+    computationally bounded, so unforgeability is enforced by construction: a
+    signature is a token binding a signer to a digest, and only the node
+    behaviour code for that signer can mint it (the engine delivers messages
+    with their true sender).  Verification checks the binding; wire cost uses
+    ED25519 sizes via {!Bft_types.Wire_size}. *)
+
+type t
+
+(** [sign ~signer digest] produces [signer]'s signature over [digest]. *)
+val sign : signer:int -> Bft_types.Hash.t -> t
+
+val signer : t -> int
+
+(** [verify t ~signer digest] checks that [t] is [signer]'s signature over
+    [digest]. *)
+val verify : t -> signer:int -> Bft_types.Hash.t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,30 @@
+type t = { bits : Bytes.t; n : int; mutable count : int }
+
+let create ~n =
+  if n < 0 then invalid_arg "Signer_set.create";
+  { bits = Bytes.make ((n + 7) / 8) '\000'; n; count = 0 }
+
+let check t i =
+  if i < 0 || i >= t.n then invalid_arg "Signer_set: signer out of range"
+
+let mem t i =
+  check t i;
+  Char.code (Bytes.get t.bits (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+let add t i =
+  check t i;
+  if mem t i then false
+  else begin
+    let byte = Char.code (Bytes.get t.bits (i / 8)) in
+    Bytes.set t.bits (i / 8) (Char.chr (byte lor (1 lsl (i mod 8))));
+    t.count <- t.count + 1;
+    true
+  end
+
+let count t = t.count
+
+let to_list t =
+  let rec go i acc = if i < 0 then acc else go (i - 1) (if mem t i then i :: acc else acc) in
+  go (t.n - 1) []
+
+let copy t = { bits = Bytes.copy t.bits; n = t.n; count = t.count }

@@ -1,0 +1,16 @@
+(** A deduplicated set of signer identities, as accumulated while collecting
+    votes or timeout messages toward a certificate. *)
+
+type t
+
+(** [create ~n] for signers drawn from [0 .. n-1]. *)
+val create : n:int -> t
+
+(** [add t i] records signer [i]; returns [false] when [i] was already
+    present.  Raises [Invalid_argument] when [i] is out of range. *)
+val add : t -> int -> bool
+
+val mem : t -> int -> bool
+val count : t -> int
+val to_list : t -> int list
+val copy : t -> t

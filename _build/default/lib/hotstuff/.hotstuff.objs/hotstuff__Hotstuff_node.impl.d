@@ -1,0 +1,1 @@
+lib/hotstuff/hotstuff_node.ml: Bft_types Env Jolteon

@@ -1,0 +1,1 @@
+lib/hotstuff/hotstuff_node.mli: Bft_types Env Jolteon

@@ -1,0 +1,24 @@
+open Bft_types
+
+type t = Jolteon.Jolteon_node.t
+
+let create ?equivocate (env : Jolteon.Jolteon_msg.t Env.t) =
+  Jolteon.Jolteon_node.create ?equivocate ~commit_depth:3 env
+
+let start = Jolteon.Jolteon_node.start
+let handle = Jolteon.Jolteon_node.handle
+let committed = Jolteon.Jolteon_node.committed
+
+module Protocol = struct
+  type msg = Jolteon.Jolteon_msg.t
+
+  let msg_size = Jolteon.Jolteon_msg.size
+  let cpu_cost = Jolteon.Jolteon_msg.cpu_cost
+  let classify = Jolteon.Jolteon_msg.classify
+
+  type node = t
+
+  let create ?(equivocate = false) env = create ~equivocate env
+  let start = start
+  let handle = handle
+end

@@ -1,0 +1,23 @@
+(** Chained HotStuff baseline (Yin et al., PODC 2019), the three-chain
+    ancestor of Jolteon.
+
+    Structurally identical to {!Jolteon.Jolteon_node} (leader proposes,
+    replicas vote to the next leader, QCs ride in proposals) but a block
+    only commits at the head of a {e three}-chain of consecutive views —
+    adding one full round-trip, which is the 7-delta minimum commit latency
+    of Table I (footnote 2: with next-leader vote aggregation).  Used by the
+    Table I empirical-latency bench. *)
+
+open Bft_types
+
+type t = Jolteon.Jolteon_node.t
+
+val create : ?equivocate:bool -> Jolteon.Jolteon_msg.t Env.t -> t
+val start : t -> unit
+val handle : t -> src:int -> Jolteon.Jolteon_msg.t -> unit
+val committed : t -> int
+
+module Protocol :
+  Bft_types.Protocol_intf.S
+    with type msg = Jolteon.Jolteon_msg.t
+     and type node = t

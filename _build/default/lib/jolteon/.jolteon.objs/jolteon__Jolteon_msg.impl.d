@@ -1,0 +1,1 @@
+lib/jolteon/jolteon_msg.ml: Bft_types Block Format Hash List Moonshot Option Payload Wire_size

@@ -1,0 +1,1 @@
+lib/jolteon/jolteon_msg.mli: Bft_types Block Format Hash Moonshot

@@ -1,0 +1,1 @@
+lib/jolteon/jolteon_node.ml: Bft_crypto Bft_types Block Env Hashtbl Jolteon_msg List Moonshot Option Payload

@@ -1,0 +1,1 @@
+lib/jolteon/jolteon_node.mli: Bft_chain Bft_types Env Jolteon_msg Moonshot

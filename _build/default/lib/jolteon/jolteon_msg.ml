@@ -1,0 +1,59 @@
+open Bft_types
+
+type t =
+  | Propose of { block : Block.t; qc : Moonshot.Cert.t; tc : Moonshot.Tc.t option }
+  | Vote of { block : Block.t }
+  | Timeout of { round : int; high_qc : Moonshot.Cert.t }
+  | Block_request of { hash : Hash.t }
+  | Blocks_response of { blocks : Block.t list }
+
+let size = function
+  | Propose { block; qc; tc } ->
+      let tc_size = match tc with None -> 0 | Some t -> Moonshot.Tc.wire_size t in
+      Wire_size.tag
+      + Wire_size.block ~payload_bytes:block.Block.payload.Payload.size_bytes
+      + Wire_size.signature + Moonshot.Cert.wire_size qc + tc_size
+  | Vote _ -> Wire_size.vote
+  | Timeout { high_qc; _ } ->
+      Wire_size.tag + Wire_size.view + Wire_size.signature + Wire_size.node_id
+      + Moonshot.Cert.wire_size high_qc
+  | Block_request _ -> Wire_size.tag + Wire_size.hash + Wire_size.node_id
+  | Blocks_response { blocks } ->
+      Wire_size.tag
+      + List.fold_left
+          (fun acc (b : Block.t) ->
+            acc + Wire_size.block ~payload_bytes:b.Block.payload.Payload.size_bytes)
+          0 blocks
+
+let cpu_cost =
+  let open Bft_types.Cpu_model in
+  function
+  | Propose { block; qc; tc } ->
+      let tc_sigs = match tc with None -> 0 | Some t -> t.Moonshot.Tc.signers in
+      verify_signatures (1 + qc.Moonshot.Cert.signers + tc_sigs)
+      +. hash_payload block.Block.payload.Payload.size_bytes
+  | Vote _ -> verify_signatures 1
+  | Timeout _ -> verify_signatures 1 +. cache_check_ms
+  | Block_request _ -> cache_check_ms
+  | Blocks_response { blocks } ->
+      List.fold_left
+        (fun acc (b : Block.t) ->
+          acc +. hash_payload b.Block.payload.Payload.size_bytes +. cache_check_ms)
+        0. blocks
+
+let classify = function
+  | Propose _ -> `Proposal
+  | Vote _ -> `Vote
+  | Timeout _ -> `Timeout
+  | Block_request _ | Blocks_response _ -> `Other
+
+let pp ppf = function
+  | Propose { block; qc; tc } ->
+      Format.fprintf ppf "j-propose(%a, %a, tc=%b)" Block.pp block
+        Moonshot.Cert.pp qc (Option.is_some tc)
+  | Vote { block } -> Format.fprintf ppf "j-vote(%a)" Block.pp block
+  | Timeout { round; high_qc } ->
+      Format.fprintf ppf "j-timeout(r=%d, %a)" round Moonshot.Cert.pp high_qc
+  | Block_request { hash } -> Format.fprintf ppf "j-block-request(%a)" Hash.pp hash
+  | Blocks_response { blocks } ->
+      Format.fprintf ppf "j-blocks-response(%d blocks)" (List.length blocks)

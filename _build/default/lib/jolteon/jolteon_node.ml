@@ -1,0 +1,259 @@
+open Bft_types
+module Cert = Moonshot.Cert
+module Tc = Moonshot.Tc
+module Node_core = Moonshot.Node_core
+
+type tmo_entry = {
+  signers : Bft_crypto.Signer_set.t;
+  mutable high : Cert.t;
+  mutable amplified : bool;
+  mutable tc_formed : bool;
+}
+
+type pending = P of Block.t * Cert.t * Tc.t option
+
+type how_entered = Via_qc of Cert.t | Via_tc of Tc.t | Via_start
+
+type t = {
+  core : Jolteon_msg.t Node_core.t;
+  env : Jolteon_msg.t Env.t;
+  mutable sync : Jolteon_msg.t Moonshot.Sync.t option;
+  equivocate : bool;
+  commit_depth : int;
+  timeout_aggs : (int, tmo_entry) Hashtbl.t;
+  tcs : (int, Tc.t) Hashtbl.t;
+  pending : (int, pending list) Hashtbl.t;
+  timeout_sent : (int, unit) Hashtbl.t;
+  mutable cur_round : int;
+  mutable last_voted_round : int;
+  mutable timeout_round : int;  (* highest round a timeout was sent for *)
+  mutable cancel_timer : unit -> unit;
+}
+
+let round_timer_multiplier = 4.
+
+let create ?(equivocate = false) ?(commit_depth = 2) env =
+  if commit_depth < 2 then invalid_arg "Jolteon_node.create: commit_depth < 2";
+  let t =
+  {
+    core = Node_core.create env;
+    env;
+    sync = None;
+    equivocate;
+    commit_depth;
+    timeout_aggs = Hashtbl.create 16;
+    tcs = Hashtbl.create 16;
+    pending = Hashtbl.create 16;
+    timeout_sent = Hashtbl.create 16;
+    cur_round = 0;
+    last_voted_round = 0;
+    timeout_round = 0;
+    cancel_timer = (fun () -> ());
+  }
+  in
+  t.sync <-
+    Some
+      (Moonshot.Sync.create ~core:t.core ~env
+         ~make_request:(fun hash -> Jolteon_msg.Block_request { hash })
+         ~make_response:(fun blocks -> Jolteon_msg.Blocks_response { blocks }));
+  t
+
+let sync t = Option.get t.sync
+
+let current_round t = t.cur_round
+let high_qc t = Node_core.high_cert t.core
+let committed t = Node_core.committed t.core
+let commit_log t = Node_core.log t.core
+let store t = Node_core.store t.core
+
+let honest_block t ~round ~parent =
+  Block.create ~parent ~view:round ~proposer:t.env.Env.id
+    ~payload:(t.env.Env.make_payload ~view:round)
+
+let conflicting_block t ~round ~parent =
+  let honest = t.env.Env.make_payload ~view:round in
+  let payload = Payload.make ~id:(-round) ~size_bytes:honest.Payload.size_bytes in
+  Block.create ~parent ~view:round ~proposer:t.env.Env.id ~payload
+
+let send_proposal t ~round ~qc ~tc =
+  let parent = qc.Cert.block in
+  let block = honest_block t ~round ~parent in
+  t.env.Env.on_propose block;
+  if not t.equivocate then
+    t.env.Env.multicast (Jolteon_msg.Propose { block; qc; tc })
+  else begin
+    let block' = conflicting_block t ~round ~parent in
+    t.env.Env.on_propose block';
+    let half = Env.n t.env / 2 in
+    for dst = 0 to Env.n t.env - 1 do
+      let b = if dst < half then block else block' in
+      t.env.Env.send dst (Jolteon_msg.Propose { block = b; qc; tc })
+    done
+  end
+
+let rec observe_qc t (qc : Cert.t) =
+  if Node_core.record_cert t.core qc then begin
+    List.iter (Node_core.commit t.core)
+      (Node_core.chain_commits t.core ~depth:t.commit_depth qc);
+    if qc.Cert.view >= t.cur_round then
+      advance_to t (qc.Cert.view + 1) (Via_qc qc)
+  end
+
+and observe_tc t (tc : Tc.t) =
+  (match tc.Tc.high_cert with Some c -> observe_qc t c | None -> ());
+  if not (Hashtbl.mem t.tcs tc.Tc.view) then begin
+    Hashtbl.replace t.tcs tc.Tc.view tc;
+    if tc.Tc.view >= t.cur_round then advance_to t (tc.Tc.view + 1) (Via_tc tc)
+  end
+
+and send_timeout t round =
+  if not (Hashtbl.mem t.timeout_sent round) then begin
+    Hashtbl.replace t.timeout_sent round ();
+    t.timeout_round <- max t.timeout_round round;
+    t.env.Env.multicast
+      (Jolteon_msg.Timeout { round; high_qc = Node_core.high_cert t.core })
+  end
+
+and arm_round_timer t =
+  t.cancel_timer ();
+  t.cancel_timer <-
+    t.env.Env.set_timer
+      (round_timer_multiplier *. t.env.Env.delta)
+      (fun () -> on_round_timer t)
+
+(* Rebroadcast while stuck, so view changes survive message loss. *)
+and on_round_timer t =
+  if Hashtbl.mem t.timeout_sent t.cur_round then
+    t.env.Env.multicast
+      (Jolteon_msg.Timeout
+         { round = t.cur_round; high_qc = Node_core.high_cert t.core })
+  else send_timeout t t.cur_round;
+  arm_round_timer t
+
+and advance_to t round how =
+  if round > t.cur_round then begin
+    t.cur_round <- round;
+    arm_round_timer t;
+    if Env.is_leader t.env ~view:round then begin
+      match how with
+      | Via_start -> send_proposal t ~round ~qc:Cert.genesis ~tc:None
+      | Via_qc qc -> send_proposal t ~round ~qc ~tc:None
+      | Via_tc tc ->
+          (* high_qc >= every QC reported in the TC: its embedded high cert
+             was observed above, so extending high_qc satisfies voters. *)
+          send_proposal t ~round ~qc:(Node_core.high_cert t.core) ~tc:(Some tc)
+    end;
+    process_pending t
+  end
+
+and process_pending t =
+  (match Hashtbl.find_opt t.pending t.cur_round with
+  | None -> ()
+  | Some items -> List.iter (try_vote t) (List.rev items));
+  Hashtbl.iter
+    (fun r _ -> if r < t.cur_round then Hashtbl.remove t.pending r)
+    (Hashtbl.copy t.pending)
+
+and try_vote t (P (block, qc, tc)) =
+  let round = block.Block.view in
+  let justified =
+    qc.Cert.view = round - 1
+    || match tc with
+       | Some tc' ->
+           tc'.Tc.view = round - 1 && qc.Cert.view >= Tc.high_cert_view tc'
+       | None -> false
+  in
+  if
+    round = t.cur_round
+    && round > t.last_voted_round
+    && t.timeout_round < round
+    && block.Block.proposer = t.env.Env.leader_of round
+    && Cert.certifies_parent_of qc block
+    && justified
+  then begin
+    t.last_voted_round <- round;
+    t.env.Env.send (t.env.Env.leader_of (round + 1)) (Jolteon_msg.Vote { block })
+  end
+
+let buffer t round p =
+  if round >= t.cur_round then begin
+    let items = Option.value ~default:[] (Hashtbl.find_opt t.pending round) in
+    Hashtbl.replace t.pending round (p :: items)
+  end
+
+let on_timeout t ~src round high_qc =
+  observe_qc t high_qc;
+  let entry =
+    match Hashtbl.find_opt t.timeout_aggs round with
+    | Some e -> e
+    | None ->
+        let e =
+          {
+            signers = Bft_crypto.Signer_set.create ~n:(Env.n t.env);
+            high = high_qc;
+            amplified = false;
+            tc_formed = false;
+          }
+        in
+        Hashtbl.replace t.timeout_aggs round e;
+        e
+  in
+  if Bft_crypto.Signer_set.add entry.signers src then begin
+    if Cert.rank_gt high_qc entry.high then entry.high <- high_qc;
+    let count = Bft_crypto.Signer_set.count entry.signers in
+    if
+      count >= Env.weak_quorum t.env
+      && (not entry.amplified)
+      && round >= t.cur_round
+    then begin
+      entry.amplified <- true;
+      send_timeout t round
+    end;
+    if count >= Env.quorum t.env && not entry.tc_formed then begin
+      entry.tc_formed <- true;
+      observe_tc t (Tc.make ~view:round ~high_cert:(Some entry.high) ~signers:count)
+    end
+  end
+
+let handle t ~src msg =
+  match msg with
+  | Jolteon_msg.Propose { block; qc; tc } ->
+      Node_core.note_block t.core block;
+      buffer t block.Block.view (P (block, qc, tc));
+      observe_qc t qc;
+      (match tc with Some tc' -> observe_tc t tc' | None -> ());
+      process_pending t
+  | Jolteon_msg.Vote { block } -> (
+      (* Only the designated aggregator (next round's leader) receives
+         votes; it turns a quorum into a QC. *)
+      match
+        Node_core.add_vote t.core ~signer:src ~kind:Moonshot.Vote_kind.Normal
+          block
+      with
+      | Some qc -> observe_qc t qc
+      | None -> ())
+  | Jolteon_msg.Timeout { round; high_qc } -> on_timeout t ~src round high_qc
+  | Jolteon_msg.Block_request { hash } ->
+      Moonshot.Sync.handle_request (sync t) ~src hash
+  | Jolteon_msg.Blocks_response { blocks } ->
+      Moonshot.Sync.handle_response (sync t) blocks
+
+let handle t ~src msg =
+  handle t ~src msg;
+  Moonshot.Sync.poke (sync t)
+
+let start t = advance_to t 1 Via_start
+
+module Protocol = struct
+  type msg = Jolteon_msg.t
+
+  let msg_size = Jolteon_msg.size
+  let cpu_cost = Jolteon_msg.cpu_cost
+  let classify = Jolteon_msg.classify
+
+  type node = t
+
+  let create ?(equivocate = false) env = create ~equivocate env
+  let start = start
+  let handle = handle
+end

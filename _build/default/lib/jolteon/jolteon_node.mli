@@ -1,0 +1,29 @@
+(** The Jolteon replica (baseline protocol of the paper's evaluation).
+
+    Two-chain commit rule (a block commits when its direct child in the
+    consecutive round is certified), votes unicast to the next leader who
+    aggregates them into a QC and carries it in its own proposal, all-to-all
+    timeouts with high QCs and a quadratic view change.  Round timers are
+    4 Delta (Table I's view length). *)
+
+open Bft_types
+
+type t
+
+(** [commit_depth] (default 2) selects the consecutive-view commit rule:
+    2 is Jolteon's two-chain; 3 yields the chained-HotStuff baseline exposed
+    by {!Hotstuff}. *)
+val create : ?equivocate:bool -> ?commit_depth:int -> Jolteon_msg.t Env.t -> t
+val start : t -> unit
+val handle : t -> src:int -> Jolteon_msg.t -> unit
+
+(** {2 Introspection (tests, metrics)} *)
+
+val current_round : t -> int
+val high_qc : t -> Moonshot.Cert.t
+val committed : t -> int
+val commit_log : t -> Bft_chain.Commit_log.t
+val store : t -> Bft_chain.Block_store.t
+
+module Protocol :
+  Bft_types.Protocol_intf.S with type msg = Jolteon_msg.t and type node = t

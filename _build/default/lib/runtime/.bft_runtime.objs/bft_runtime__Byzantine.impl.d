@@ -1,0 +1,1 @@
+lib/runtime/byzantine.ml: Format Printf

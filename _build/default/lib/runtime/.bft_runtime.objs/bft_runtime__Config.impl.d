@@ -1,0 +1,1 @@
+lib/runtime/config.ml: Bft_workload Byzantine Format List Protocol_kind

@@ -1,0 +1,1 @@
+lib/runtime/config.mli: Bft_workload Byzantine Format Protocol_kind

@@ -1,0 +1,1 @@
+lib/runtime/harness.ml: Bft_sim Bft_stats Bft_types Bft_workload Byzantine Config Env Hotstuff Jolteon List Logs Metrics Moonshot Payload Protocol_kind Validator_set

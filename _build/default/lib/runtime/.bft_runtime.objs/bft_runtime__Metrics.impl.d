@@ -1,0 +1,1 @@
+lib/runtime/metrics.ml: Array Bft_chain Bft_crypto Bft_stats Bft_types Block Float Format Hash Hashtbl Int List Option Payload

@@ -1,0 +1,1 @@
+lib/runtime/protocol_kind.ml: Format

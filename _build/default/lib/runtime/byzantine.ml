@@ -1,0 +1,9 @@
+type t = Silent | Equivocate | Withhold_votes | Delay_all of float
+
+let name = function
+  | Silent -> "silent"
+  | Equivocate -> "equivocate"
+  | Withhold_votes -> "withhold-votes"
+  | Delay_all d -> Printf.sprintf "delay-all(%.0fms)" d
+
+let pp ppf t = Format.pp_print_string ppf (name t)

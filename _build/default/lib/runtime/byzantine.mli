@@ -1,0 +1,22 @@
+(** Byzantine behaviours beyond the silent (crash-like) adversary of the
+    paper's failure experiments.
+
+    Behaviours are applied without touching protocol logic: either via the
+    protocol's own [equivocate] mode or by wrapping the node's environment
+    ({!Bft_types.Env.with_outgoing_filter} / [with_outgoing_delay]).  All of
+    them stay within the threat model — at most [f] nodes total may be
+    assigned a behaviour or be silent. *)
+
+type t =
+  | Silent  (** Sends nothing at all (equivalent to a crash). *)
+  | Equivocate
+      (** Proposes conflicting blocks to the two halves of the network. *)
+  | Withhold_votes
+      (** Participates (proposes, times out) but never votes — starves
+          certificates of one contribution. *)
+  | Delay_all of float
+      (** Holds every outgoing message for the given ms (a lagging or
+          throttling adversary); safe but degrades others' view of it. *)
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit

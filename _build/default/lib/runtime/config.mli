@@ -1,0 +1,47 @@
+(** Experiment configuration. *)
+
+type latency_spec =
+  | Wan  (** The paper's five-region AWS WAN (Table II). *)
+  | Uniform of { base : float; jitter : float }  (** For tests/ablations. *)
+
+type t = {
+  protocol : Protocol_kind.t;
+  n : int;  (** Network size. *)
+  f_actual : int;  (** Number of actual (silent Byzantine) failures, f'. *)
+  schedule : Bft_workload.Schedules.t;
+  payload_bytes : int;  (** Block payload size p. *)
+  duration_ms : float;  (** Simulated run length. *)
+  delta_ms : float;  (** Delta the protocols are configured with. *)
+  gst_ms : float;  (** Global stabilization time (0 = synchronous run). *)
+  pre_gst_extra_ms : float;  (** Adversarial extra delay before GST. *)
+  latency : latency_spec;
+  bandwidth_bps : float option;
+  model_cpu : bool;
+      (** When true, receiver-side processing (signature verification,
+          payload hashing — {!Bft_types.Cpu_model}) is charged on a per-node
+          serial CPU queue.  This is what makes performance degrade with
+          network size, as on the paper's m5.large instances. *)
+  duplicate_prob : float;
+      (** Network-level duplication probability (robustness testing). *)
+  seed : int;
+  equivocators : int list;
+      (** Node ids running the equivocating-proposer attack (tests);
+          shorthand for [(id, Byzantine.Equivocate)] entries. *)
+  byzantine : (int * Byzantine.t) list;
+      (** Per-node Byzantine behaviour assignments (see {!Byzantine}); must
+          not overlap the silent set implied by [f_actual]. *)
+}
+
+(** The paper's WAN setting: [Wan] latencies, 10 Gbit/s egress,
+    [delta_ms = 500], no failures, round-robin leaders, 60 s runs. *)
+val default : Protocol_kind.t -> n:int -> t
+
+(** Smaller/faster settings for unit and property tests: uniform latency,
+    infinite bandwidth. *)
+val local : Protocol_kind.t -> n:int -> t
+
+(** Raises [Invalid_argument] when inconsistent (f' too large, equivocators
+    out of range or overlapping the silent set, bad sizes). *)
+val validate : t -> unit
+
+val pp : Format.formatter -> t -> unit

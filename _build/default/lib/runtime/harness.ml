@@ -1,0 +1,147 @@
+open Bft_types
+
+let log_src = Logs.Src.create "moonshot.harness" ~doc:"Experiment harness"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type run_result = {
+  metrics : Metrics.result;
+  messages_sent : int;
+  bytes_sent : float;
+  events_processed : int;
+  config : Config.t;
+}
+
+let latency_model (cfg : Config.t) =
+  match cfg.Config.latency with
+  | Config.Wan -> Bft_workload.Regions.latency_model ()
+  | Config.Uniform { base; jitter } -> Bft_sim.Latency.Uniform { base; jitter }
+
+let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ())
+    (module P : Bft_types.Protocol_intf.S with type msg = m)
+    (cfg : Config.t) =
+  Config.validate cfg;
+  let network =
+    Bft_sim.Network.make
+      ?bandwidth_bps:cfg.Config.bandwidth_bps
+      ~gst:cfg.Config.gst_ms ~pre_gst_extra:cfg.Config.pre_gst_extra_ms
+      ~duplicate_prob:cfg.Config.duplicate_prob
+      ~latency:(latency_model cfg) ~delta:cfg.Config.delta_ms ()
+  in
+  let engine =
+    let cpu_cost = if cfg.Config.model_cpu then Some P.cpu_cost else None in
+    Bft_sim.Engine.create ~n:cfg.Config.n ~network ~seed:cfg.Config.seed
+      ~msg_size:P.msg_size ?cpu_cost ()
+  in
+  let metrics = Metrics.create ~n:cfg.Config.n () in
+  let validators = Validator_set.make cfg.Config.n in
+  let leader_of =
+    Bft_workload.Schedules.leader_of cfg.Config.schedule ~n:cfg.Config.n
+      ~f':cfg.Config.f_actual
+  in
+  let env_of id =
+    {
+      Env.id;
+      validators;
+      delta = cfg.Config.delta_ms;
+      now = (fun () -> Bft_sim.Engine.now engine);
+      send = (fun dst msg -> Bft_sim.Engine.send engine ~src:id ~dst msg);
+      multicast = (fun msg -> Bft_sim.Engine.multicast engine ~src:id msg);
+      set_timer = (fun delay f -> Bft_sim.Engine.set_timer engine delay f);
+      leader_of;
+      make_payload =
+        (fun ~view ->
+          Payload.make ~id:view ~size_bytes:cfg.Config.payload_bytes);
+      on_commit =
+        (fun block ->
+          Metrics.on_commit metrics ~node:id
+            ~time:(Bft_sim.Engine.now engine)
+            block;
+          on_commit ~node:id block);
+      on_propose =
+        (fun block ->
+          Metrics.on_propose metrics ~time:(Bft_sim.Engine.now engine) block);
+    }
+  in
+  let silent id =
+    Bft_workload.Schedules.is_byzantine ~n:cfg.Config.n ~f':cfg.Config.f_actual
+      id
+  in
+  let behaviour_of id =
+    if silent id then Some Byzantine.Silent
+    else if List.mem id cfg.Config.equivocators then Some Byzantine.Equivocate
+    else List.assoc_opt id cfg.Config.byzantine
+  in
+  let nodes =
+    List.filter_map
+      (fun id ->
+        let make ?(equivocate = false) env =
+          let node = P.create ~equivocate env in
+          Bft_sim.Engine.set_handler engine id (P.handle node);
+          Some node
+        in
+        match behaviour_of id with
+        | Some Byzantine.Silent -> None
+        | Some Byzantine.Equivocate -> make ~equivocate:true (env_of id)
+        | Some Byzantine.Withhold_votes ->
+            make
+              (Env.with_outgoing_filter
+                 ~keep:(fun msg -> P.classify msg <> `Vote)
+                 (env_of id))
+        | Some (Byzantine.Delay_all delay) ->
+            make (Env.with_outgoing_delay ~delay (env_of id))
+        | None -> make (env_of id))
+      (List.init cfg.Config.n (fun i -> i))
+  in
+  Log.debug (fun m -> m "starting run: %a" Config.pp cfg);
+  List.iter P.start nodes;
+  Bft_sim.Engine.run engine ~until:cfg.Config.duration_ms;
+  let stats = Bft_sim.Engine.stats engine in
+  let result =
+    {
+      metrics = Metrics.finish metrics ~duration_ms:cfg.Config.duration_ms;
+      messages_sent = stats.Bft_sim.Engine.messages_sent;
+      bytes_sent = stats.Bft_sim.Engine.bytes_sent;
+      events_processed = stats.Bft_sim.Engine.events_processed;
+      config = cfg;
+    }
+  in
+  Log.info (fun m ->
+      m "run done: %a -> %d blocks, %.1f ms avg latency, %d msgs" Config.pp cfg
+        result.metrics.Metrics.committed_blocks
+        result.metrics.Metrics.avg_latency_ms result.messages_sent);
+  result
+
+let run ?on_commit (cfg : Config.t) =
+  match cfg.Config.protocol with
+  | Protocol_kind.Simple_moonshot ->
+      run_protocol ?on_commit (module Moonshot.Simple_node.Protocol) cfg
+  | Protocol_kind.Pipelined_moonshot ->
+      run_protocol ?on_commit (module Moonshot.Pipelined_node.Protocol) cfg
+  | Protocol_kind.Commit_moonshot ->
+      run_protocol ?on_commit (module Moonshot.Pipelined_node.Commit_protocol) cfg
+  | Protocol_kind.Jolteon ->
+      run_protocol ?on_commit (module Jolteon.Jolteon_node.Protocol) cfg
+  | Protocol_kind.Hotstuff ->
+      run_protocol ?on_commit (module Hotstuff.Hotstuff_node.Protocol) cfg
+
+let run_seeds cfg ~seeds =
+  List.map (fun seed -> run { cfg with Config.seed }) seeds
+
+type summary = {
+  blocks_committed : float;
+  avg_latency_ms : float;
+  transfer_rate_bps : float;
+  blocks_per_sec : float;
+}
+
+let summarize results =
+  if results = [] then invalid_arg "Harness.summarize: no results";
+  let mean f = Bft_stats.Descriptive.mean (List.map f results) in
+  {
+    blocks_committed =
+      mean (fun r -> float_of_int r.metrics.Metrics.committed_blocks);
+    avg_latency_ms = mean (fun r -> r.metrics.Metrics.avg_latency_ms);
+    transfer_rate_bps = mean (fun r -> r.metrics.Metrics.transfer_rate_bps);
+    blocks_per_sec = mean (fun r -> r.metrics.Metrics.blocks_per_sec);
+  }

@@ -1,0 +1,51 @@
+(** The experiment harness: builds a simulated network from a {!Config.t},
+    runs the configured protocol on it and returns the paper's metrics.
+
+    Silent Byzantine nodes are modelled by not instantiating a node at all
+    (their messages are never sent, their handlers drop everything), which is
+    the worst crash-like behaviour a silent adversary can exhibit and matches
+    the failure experiments of Section VI-B.  Equivocating Byzantine
+    proposers (safety tests) run the protocol's [equivocate] behaviour.
+
+    Every run doubles as a safety audit: a conflicting commit anywhere
+    raises [Bft_chain.Commit_log.Safety_violation]. *)
+
+(** Log source ["moonshot.harness"]: run configs at debug, per-run
+    summaries at info.  Enable with [Logs.set_level (Some Logs.Info)] and a
+    reporter (e.g. [Logs.format_reporter ()]). *)
+val log_src : Logs.src
+
+type run_result = {
+  metrics : Metrics.result;
+  messages_sent : int;
+  bytes_sent : float;
+  events_processed : int;
+  config : Config.t;
+}
+
+(** Run a specific protocol implementation under a configuration.
+    [on_commit] observes every per-node commit in order (e.g. to drive a
+    replicated application such as {!Bft_app.Ledger}). *)
+val run_protocol :
+  ?on_commit:(node:int -> Bft_types.Block.t -> unit) ->
+  (module Bft_types.Protocol_intf.S with type msg = 'msg) ->
+  Config.t ->
+  run_result
+
+(** Dispatch on [config.protocol]. *)
+val run :
+  ?on_commit:(node:int -> Bft_types.Block.t -> unit) -> Config.t -> run_result
+
+(** [run_seeds config seeds] — repeat a run over several seeds (the paper
+    averages three runs per configuration). *)
+val run_seeds : Config.t -> seeds:int list -> run_result list
+
+(** Averages across repeated runs. *)
+type summary = {
+  blocks_committed : float;
+  avg_latency_ms : float;
+  transfer_rate_bps : float;
+  blocks_per_sec : float;
+}
+
+val summarize : run_result list -> summary

@@ -1,0 +1,19 @@
+(** The four protocols under evaluation. *)
+
+type t =
+  | Simple_moonshot
+  | Pipelined_moonshot
+  | Commit_moonshot
+  | Jolteon
+  | Hotstuff  (** Chained HotStuff (3-chain) — extra baseline, not in the paper's evaluation. *)
+
+(** Every implemented protocol. *)
+val all : t list
+
+(** The four protocols of the paper's evaluation (SM, PM, CM, J). *)
+val paper : t list
+val name : t -> string
+val short_name : t -> string  (** The paper's abbreviations: SM, PM, CM, J. *)
+
+val of_name : string -> t option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/sim/latency.ml: Array Float Rng

@@ -1,0 +1,123 @@
+type stats = {
+  mutable events_processed : int;
+  mutable messages_sent : int;
+  mutable bytes_sent : float;
+}
+
+type 'msg t = {
+  n : int;
+  network : Network.t;
+  queue : (unit -> unit) Event_queue.t;
+  handlers : (src:int -> 'msg -> unit) array;
+  node_rngs : Rng.t array;
+  net_rng : Rng.t;
+  egress_free : float array;
+  cpu_free : float array;
+  msg_size : 'msg -> int;
+  cpu_cost : ('msg -> float) option;
+  mutable clock : float;
+  mutable filter : src:int -> dst:int -> now:float -> bool;
+  mutable tap : time:float -> src:int -> dst:int -> 'msg -> unit;
+  stats : stats;
+}
+
+let create ~n ~network ~seed ~msg_size ?cpu_cost () =
+  if n < 1 then invalid_arg "Engine.create: n < 1";
+  let root = Rng.create seed in
+  {
+    n;
+    network;
+    queue = Event_queue.create ();
+    handlers = Array.make n (fun ~src:_ _ -> ());
+    node_rngs = Array.init n (fun _ -> Rng.split root);
+    net_rng = Rng.split root;
+    egress_free = Array.make n 0.;
+    cpu_free = Array.make n 0.;
+    msg_size;
+    cpu_cost;
+    clock = 0.;
+    filter = (fun ~src:_ ~dst:_ ~now:_ -> true);
+    tap = (fun ~time:_ ~src:_ ~dst:_ _ -> ());
+    stats = { events_processed = 0; messages_sent = 0; bytes_sent = 0. };
+  }
+
+let set_handler t i h = t.handlers.(i) <- h
+let set_link_filter t f = t.filter <- f
+let set_delivery_tap t f = t.tap <- f
+let now t = t.clock
+let n t = t.n
+let node_rng t i = t.node_rngs.(i)
+
+let deliver t ~src ~dst msg =
+  t.tap ~time:t.clock ~src ~dst msg;
+  t.handlers.(dst) ~src msg
+
+(* Run the message through [dst]'s serial CPU queue before handing it to the
+   handler; invoked at the message's network arrival time. *)
+let process t ~src ~dst msg =
+  match t.cpu_cost with
+  | None -> deliver t ~src ~dst msg
+  | Some cost ->
+      let start = Float.max t.clock t.cpu_free.(dst) in
+      let finish = start +. cost msg in
+      t.cpu_free.(dst) <- finish;
+      if finish <= t.clock then deliver t ~src ~dst msg
+      else Event_queue.push t.queue ~time:finish (fun () -> deliver t ~src ~dst msg)
+
+let send t ~src ~dst msg =
+  let size = t.msg_size msg in
+  t.stats.messages_sent <- t.stats.messages_sent + 1;
+  t.stats.bytes_sent <- t.stats.bytes_sent +. float_of_int size;
+  if dst = src then
+    (* Local hand-off: no serialization, no propagation. *)
+    Event_queue.push t.queue ~time:t.clock (fun () -> deliver t ~src ~dst msg)
+  else if t.filter ~src ~dst ~now:t.clock then begin
+    let egress_end, arrival =
+      Network.delivery t.network t.net_rng ~now:t.clock
+        ~egress_free:t.egress_free.(src) ~src ~dst ~size
+    in
+    t.egress_free.(src) <- egress_end;
+    Event_queue.push t.queue ~time:arrival (fun () -> process t ~src ~dst msg);
+    let dup = t.network.Network.duplicate_prob in
+    if dup > 0. && Rng.float t.net_rng 1. < dup then begin
+      (* Network-level duplication: the copy trails the original slightly. *)
+      let lag = Rng.float t.net_rng (0.5 *. t.network.Network.delta) in
+      Event_queue.push t.queue ~time:(arrival +. lag) (fun () ->
+          process t ~src ~dst msg)
+    end
+  end
+
+let multicast t ~src msg =
+  send t ~src ~dst:src msg;
+  for dst = 0 to t.n - 1 do
+    if dst <> src then send t ~src ~dst msg
+  done
+
+let set_timer t delay f =
+  if delay < 0. then invalid_arg "Engine.set_timer: negative delay";
+  let cancelled = ref false in
+  Event_queue.push t.queue ~time:(t.clock +. delay) (fun () ->
+      if not !cancelled then f ());
+  fun () -> cancelled := true
+
+let schedule_at t time f =
+  if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
+  Event_queue.push t.queue ~time f
+
+let run t ~until =
+  let rec loop () =
+    match Event_queue.peek_time t.queue with
+    | None -> ()
+    | Some time when time > until -> t.clock <- until
+    | Some _ ->
+        (match Event_queue.pop t.queue with
+        | None -> ()
+        | Some (time, f) ->
+            t.clock <- time;
+            t.stats.events_processed <- t.stats.events_processed + 1;
+            f ());
+        loop ()
+  in
+  loop ()
+
+let stats t = t.stats

@@ -1,0 +1,72 @@
+(** The discrete-event simulation engine.
+
+    Runs [n] nodes exchanging messages of a single (per-engine) message type
+    over a {!Network} model.  Handlers run to completion at their scheduled
+    time; everything is single-threaded and deterministic given the seed.
+
+    Statistics on message and byte counts are kept per run so experiments can
+    report communication complexity alongside throughput and latency. *)
+
+type 'msg t
+
+type stats = {
+  mutable events_processed : int;
+  mutable messages_sent : int;
+  mutable bytes_sent : float;
+}
+
+(** [create ~n ~network ~seed ~msg_size ()] builds an engine for [n] nodes.
+    [msg_size msg] is the wire size in bytes used for serialization delay and
+    byte accounting.  [cpu_cost msg], when given, is the receiver-side
+    processing time in ms: each node's handler invocations are serialized on
+    a per-node CPU queue, so processing backlogs delay later messages
+    (self-deliveries are free — the sender already did that work). *)
+val create :
+  n:int ->
+  network:Network.t ->
+  seed:int ->
+  msg_size:('msg -> int) ->
+  ?cpu_cost:('msg -> float) ->
+  unit ->
+  'msg t
+
+(** Install the message handler for a node.  Nodes without a handler drop
+    everything (that is how crashed / silent-Byzantine nodes are modelled). *)
+val set_handler : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
+
+(** [set_delivery_tap t f] invokes [f ~time ~src ~dst msg] for every message
+    delivered to a handler — used by trace tooling and tests; does not
+    affect the simulation. *)
+val set_delivery_tap :
+  'msg t -> (time:float -> src:int -> dst:int -> 'msg -> unit) -> unit
+
+(** [set_link_filter t f] drops a message when [f ~src ~dst ~now] is false.
+    Only meaningful before GST in honest runs (the model's channels are
+    reliable after GST); used by tests to create partitions and by Byzantine
+    behaviours to send to subsets. *)
+val set_link_filter : 'msg t -> (src:int -> dst:int -> now:float -> bool) -> unit
+
+val now : 'msg t -> float
+val n : 'msg t -> int
+
+(** Per-node RNG stream, deterministic per engine seed. *)
+val node_rng : 'msg t -> int -> Rng.t
+
+(** [send t ~src ~dst msg] hands a message to the network at the current
+    time.  Sending to self delivers at the current time (no network). *)
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+
+(** [multicast t ~src msg] sends to every node; self-delivery is immediate.
+    The egress link serializes the [n - 1] copies in destination order. *)
+val multicast : 'msg t -> src:int -> 'msg -> unit
+
+(** [set_timer t delay f] runs [f] after [delay] ms; returns a cancel thunk. *)
+val set_timer : 'msg t -> float -> (unit -> unit) -> unit -> unit
+
+(** [schedule_at t time f] runs [f] at absolute [time] (>= now). *)
+val schedule_at : 'msg t -> float -> (unit -> unit) -> unit
+
+(** Run until the event queue drains or simulated [until] is passed. *)
+val run : 'msg t -> until:float -> unit
+
+val stats : 'msg t -> stats

@@ -1,0 +1,70 @@
+(* Array-backed binary min-heap keyed by (time, sequence number).  The
+   sequence number breaks ties so same-time events are FIFO. *)
+
+type 'a cell = { time : float; seq : int; value : 'a }
+
+type 'a t = {
+  mutable heap : 'a cell option array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { heap = Array.make 64 None; size = 0; next_seq = 0 }
+
+let cell_at t i =
+  match t.heap.(i) with
+  | Some c -> c
+  | None -> assert false
+
+let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let grow t =
+  let bigger = Array.make (2 * Array.length t.heap) None in
+  Array.blit t.heap 0 bigger 0 t.size;
+  t.heap <- bigger
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt (cell_at t i) (cell_at t parent) then begin
+      let tmp = t.heap.(i) in
+      t.heap.(i) <- t.heap.(parent);
+      t.heap.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && lt (cell_at t l) (cell_at t !smallest) then smallest := l;
+  if r < t.size && lt (cell_at t r) (cell_at t !smallest) then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.heap.(i) in
+    t.heap.(i) <- t.heap.(!smallest);
+    t.heap.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let push t ~time value =
+  if not (Float.is_finite time) then invalid_arg "Event_queue.push: bad time";
+  if t.size = Array.length t.heap then grow t;
+  t.heap.(t.size) <- Some { time; seq = t.next_seq; value };
+  t.next_seq <- t.next_seq + 1;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = cell_at t 0 in
+    t.size <- t.size - 1;
+    t.heap.(0) <- t.heap.(t.size);
+    t.heap.(t.size) <- None;
+    if t.size > 0 then sift_down t 0;
+    Some (top.time, top.value)
+  end
+
+let peek_time t = if t.size = 0 then None else Some (cell_at t 0).time
+let is_empty t = t.size = 0
+let size t = t.size

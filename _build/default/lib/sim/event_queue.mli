@@ -1,0 +1,19 @@
+(** Priority queue of timestamped events.
+
+    Events pop in nondecreasing time order; events with equal timestamps pop
+    in insertion (FIFO) order, which keeps simulations fully deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+(** [push t ~time ev] schedules [ev].  Raises [Invalid_argument] on a
+    non-finite time. *)
+val push : 'a t -> time:float -> 'a -> unit
+
+(** Earliest event, or [None] when empty. *)
+val pop : 'a t -> (float * 'a) option
+
+val peek_time : 'a t -> float option
+val is_empty : 'a t -> bool
+val size : 'a t -> int

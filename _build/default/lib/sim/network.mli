@@ -1,0 +1,58 @@
+(** The partially synchronous network model.
+
+    Message delay decomposes into:
+
+    - serialization delay: a per-node egress link of finite bandwidth is
+      occupied for [size / bandwidth] per message, FIFO.  Multicasting a
+      large block to [n - 1] peers therefore takes proportionally longer
+      than multicasting a small vote — this is what makes large messages
+      (beta) slower than small ones (rho) in the modified partially
+      synchronous model of Section V;
+    - propagation latency from the {!Latency} model;
+    - before GST, an adversarial extra delay, capped so that every message
+      is delivered by [GST + Delta] (Dwork et al.'s model).
+
+    [delta] is the bound the protocols are configured with; the constructor
+    checks it against what the model can actually produce. *)
+
+type t = private {
+  latency : Latency.t;
+  bandwidth_bps : float option;  (** Per-node egress; [None] = infinite. *)
+  gst : float;  (** Global stabilization time, ms. *)
+  delta : float;  (** Delivery bound after GST, ms. *)
+  pre_gst_extra : float;
+      (** Upper bound of the adversarial uniform extra delay before GST. *)
+  duplicate_prob : float;
+      (** Probability that a delivered message is delivered a second time
+          shortly after (network-level duplication; protocols must be
+          idempotent).  0 by default. *)
+}
+
+(** Raises [Invalid_argument] when [delta] cannot bound the post-GST delays
+    the latency model produces (serialization delay excluded: the protocol
+    designer picks [delta] for the message sizes they expect). *)
+val make :
+  ?bandwidth_bps:float ->
+  ?gst:float ->
+  ?pre_gst_extra:float ->
+  ?duplicate_prob:float ->
+  latency:Latency.t ->
+  delta:float ->
+  unit ->
+  t
+
+(** Serialization time of [size] bytes on the egress link, ms. *)
+val serialization_ms : t -> size:int -> float
+
+(** [delivery t rng ~now ~egress_free ~src ~dst ~size] computes
+    [(egress_busy_until, delivery_time)] for a message handed to the network
+    at [now] whose sender's egress is free from [egress_free]. *)
+val delivery :
+  t ->
+  Rng.t ->
+  now:float ->
+  egress_free:float ->
+  src:int ->
+  dst:int ->
+  size:int ->
+  float * float

@@ -1,0 +1,24 @@
+(** Deterministic splittable random number generator (splitmix64).
+
+    Every source of randomness in a simulation derives from one seed, so a
+    run is exactly reproducible from its configuration. *)
+
+type t
+
+val create : int -> t
+
+(** An independent stream derived from [t]'s current state.  Used to give
+    each node / channel its own generator without correlating draws. *)
+val split : t -> t
+
+(** Uniform in [\[0, bound)].  [bound] must be positive. *)
+val float : t -> float -> float
+
+(** Uniform in [\[0, bound)].  [bound] must be positive. *)
+val int : t -> int -> int
+
+(** Gaussian via Box-Muller. *)
+val gaussian : t -> mean:float -> std:float -> float
+
+(** Exponentially distributed with the given mean. *)
+val exponential : t -> mean:float -> float

@@ -1,0 +1,1 @@
+lib/stats/outliers.ml: Descriptive List

@@ -1,0 +1,1 @@
+lib/stats/table.ml: Float Format List Printf String

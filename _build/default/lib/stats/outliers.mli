@@ -1,0 +1,15 @@
+(** Outlier detection for experiment aggregates.
+
+    Table III of the paper reports averages "outliers removed": the 200-node
+    empty/1.8 kB configurations behaved anomalously (about 3x throughput and
+    a quarter of the latency of Jolteon versus roughly 1.5x / half
+    elsewhere).  We reproduce the same treatment with a standard IQR fence
+    over per-configuration ratios. *)
+
+(** [iqr_filter ?k xs] keeps samples within
+    [Q1 - k * IQR, Q3 + k * IQR] (Tukey's fences, default [k = 1.5]).
+    Returns [(kept, removed)]. *)
+val iqr_filter : ?k:float -> float list -> float list * float list
+
+(** [iqr_filter_on ?k ~value xs] — same, keying each element by [value]. *)
+val iqr_filter_on : ?k:float -> value:('a -> float) -> 'a list -> 'a list * 'a list

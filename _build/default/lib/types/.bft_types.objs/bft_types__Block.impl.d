@@ -1,0 +1,1 @@
+lib/types/block.ml: Format Hash Int64 Payload

@@ -1,0 +1,1 @@
+lib/types/block.mli: Format Hash Payload

@@ -1,0 +1,1 @@
+lib/types/cpu_model.ml:

@@ -1,0 +1,1 @@
+lib/types/env.ml: Block Payload Validator_set

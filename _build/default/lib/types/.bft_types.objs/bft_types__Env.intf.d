@@ -1,0 +1,1 @@
+lib/types/env.mli: Block Payload Validator_set

@@ -1,0 +1,1 @@
+lib/types/hash.ml: Char Format Int64 List Printf String

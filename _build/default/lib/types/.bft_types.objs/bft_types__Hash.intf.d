@@ -1,0 +1,1 @@
+lib/types/hash.mli: Format

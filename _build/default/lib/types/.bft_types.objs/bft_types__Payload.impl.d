@@ -1,0 +1,1 @@
+lib/types/payload.ml: Format

@@ -1,0 +1,1 @@
+lib/types/payload.mli: Format

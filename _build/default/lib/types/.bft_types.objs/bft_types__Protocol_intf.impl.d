@@ -1,0 +1,1 @@
+lib/types/protocol_intf.ml: Env

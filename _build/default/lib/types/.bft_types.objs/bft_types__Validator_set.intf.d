@@ -1,0 +1,1 @@
+lib/types/validator_set.mli: Format

@@ -1,0 +1,1 @@
+lib/types/wire_size.ml:

@@ -1,0 +1,39 @@
+(** Blocks of the replicated chain.
+
+    A block [B_k := (b_v, H(B_{k-1}))] references its unique parent by hash
+    and carries a fixed payload for the view it was proposed in (Section II-B
+    of the paper).  Payload bytes are abstracted by {!Payload.t}; everything
+    the protocols inspect travels in this header, so votes and certificates
+    can carry it at small-message cost while the payload itself only affects
+    the wire size of proposals. *)
+
+type t = private {
+  hash : Hash.t;
+  parent : Hash.t;  (** [Hash.null] for the genesis block. *)
+  view : int;  (** View the block was proposed for; 0 for genesis. *)
+  height : int;  (** Number of ancestors; 0 for genesis. *)
+  proposer : int;  (** Node id of the proposer; -1 for genesis. *)
+  payload : Payload.t;
+}
+
+(** The genesis block [B_0], known to all nodes at protocol start. *)
+val genesis : t
+
+(** [create ~parent ~view ~proposer ~payload] builds the child of [parent]
+    proposed for [view].  The hash commits to every header field, so blocks
+    proposed for the same view with the same parent and payload are equal,
+    while any difference (an equivocation) yields a distinct hash.
+    Raises [Invalid_argument] if [view <= parent.view]. *)
+val create : parent:t -> view:int -> proposer:int -> payload:Payload.t -> t
+
+(** [extends_hash b ~parent_hash] is true when [b] directly extends the block
+    with hash [parent_hash]. *)
+val extends_hash : t -> parent_hash:Hash.t -> bool
+
+(** Two blocks proposed for the same view equivocate one another if they do
+    not both have the same parent and payload. *)
+val equivocates : t -> t -> bool
+
+val is_genesis : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,5 @@
+let sig_verify_ms = 0.06
+let hash_ms_per_byte = 1e-6
+let cache_check_ms = 0.002
+let verify_signatures k = float_of_int k *. sig_verify_ms
+let hash_payload bytes = float_of_int bytes *. hash_ms_per_byte

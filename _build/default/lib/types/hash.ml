@@ -1,0 +1,31 @@
+type t = int64
+
+let equal = Int64.equal
+let compare = Int64.compare
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let mix_byte acc b =
+  Int64.mul (Int64.logxor acc (Int64.of_int (b land 0xff))) fnv_prime
+
+let mix_int64 acc v =
+  let rec go acc i =
+    if i = 8 then acc
+    else
+      let b = Int64.to_int (Int64.shift_right_logical v (8 * i)) land 0xff in
+      go (mix_byte acc b) (i + 1)
+  in
+  go acc 0
+
+let of_fields fields = List.fold_left mix_int64 fnv_offset fields
+
+let of_string s =
+  let acc = ref fnv_offset in
+  String.iter (fun c -> acc := mix_byte !acc (Char.code c)) s;
+  !acc
+
+let null = 0L
+let to_hex t = Printf.sprintf "%016Lx" t
+let pp ppf t = Format.fprintf ppf "#%s" (String.sub (to_hex t) 0 8)
+let to_int = Int64.to_int

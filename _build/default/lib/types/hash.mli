@@ -1,0 +1,27 @@
+(** Collision-resistant digests for the simulation.
+
+    Real deployments would use SHA-256 or BLAKE3; for a deterministic
+    simulation a 64-bit FNV-1a digest over the hashed structure is enough to
+    make distinct blocks distinguishable while remaining cheap and
+    reproducible.  The wire size accounted for digests is nevertheless that of
+    a 32-byte production hash (see {!Bft_types.Wire_size}). *)
+
+type t
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+(** [of_fields fields] digests a list of 64-bit field values. *)
+val of_fields : int64 list -> t
+
+(** [of_string s] digests the bytes of [s]. *)
+val of_string : string -> t
+
+(** Digest used for "no hash" slots, e.g. the parent of the genesis block. *)
+val null : t
+
+val to_hex : t -> string
+val pp : Format.formatter -> t -> unit
+
+(** Stable value usable as a hash-table key. *)
+val to_int : t -> int

@@ -1,0 +1,12 @@
+type t = { id : int; size_bytes : int }
+
+let item_size = 180
+
+let make ~id ~size_bytes =
+  if size_bytes < 0 then invalid_arg "Payload.make: negative size";
+  { id; size_bytes }
+
+let empty ~id = { id; size_bytes = 0 }
+let item_count t = t.size_bytes / item_size
+let equal a b = a.id = b.id && a.size_bytes = b.size_bytes
+let pp ppf t = Format.fprintf ppf "payload(id=%d, %dB)" t.id t.size_bytes

@@ -1,0 +1,24 @@
+(** Block payloads.
+
+    As in the paper's evaluation, leaders synthesize a parametrically sized
+    payload during block creation instead of pulling transactions from a
+    mempool.  Payload bytes are never materialised; a payload is described by
+    its identifier and size, which is all the network model and the metrics
+    need.  Individual payload items are 180 bytes, matching the paper. *)
+
+type t = { id : int; size_bytes : int }
+
+(** Size in bytes of one payload item (a transaction digest record). *)
+val item_size : int
+
+(** [make ~id ~size_bytes] describes a payload of [size_bytes] bytes.
+    Raises [Invalid_argument] if [size_bytes < 0]. *)
+val make : id:int -> size_bytes:int -> t
+
+val empty : id:int -> t
+
+(** Number of 180-byte items the payload holds (rounded down). *)
+val item_count : t -> int
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,38 @@
+(** Interface every consensus protocol implementation exposes to the
+    experiment harness.
+
+    A protocol is a message type with a wire-size model plus an event-driven
+    node.  The harness instantiates one node per honest participant, wires
+    its {!Env.t} to the simulator and feeds it incoming messages. *)
+
+module type S = sig
+  type msg
+
+  (** Wire size in bytes; drives the serialization-delay component of the
+      network model. *)
+  val msg_size : msg -> int
+
+  (** Receiver-side processing cost in milliseconds (signature verification,
+      payload hashing — see {!Cpu_model}), used when the experiment enables
+      CPU modelling.  Costs are amortized assuming certificate caching. *)
+  val cpu_cost : msg -> float
+
+  (** Coarse message class, used by Byzantine behaviours (e.g. vote
+      withholding) and trace statistics. *)
+  val classify : msg -> [ `Proposal | `Vote | `Timeout | `Other ]
+
+  type node
+
+  (** [create env] builds a node.  [equivocate] (default false) makes the
+      node a Byzantine proposer that sends conflicting blocks to different
+      halves of the network whenever it leads a view — used by safety tests;
+      implementations without an equivocation attack may ignore it. *)
+  val create : ?equivocate:bool -> msg Env.t -> node
+
+  (** Start protocol execution (enter the first view, start timers, propose
+      if leader). *)
+  val start : node -> unit
+
+  (** Deliver a message from [src]. *)
+  val handle : node -> src:int -> msg -> unit
+end

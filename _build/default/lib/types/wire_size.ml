@@ -1,0 +1,11 @@
+let signature = 64
+let hash = 32
+let node_id = 4
+let view = 8
+let tag = 1
+
+(* hash + parent + view + height + proposer + payload (id + size) *)
+let block_header = hash + hash + view + view + node_id + 16
+let block ~payload_bytes = block_header + payload_bytes
+let vote = tag + block_header + view + signature + node_id
+let certificate ~signers = block_header + view + tag + (signers * (signature + node_id))

@@ -1,0 +1,31 @@
+(** Wire-size model.
+
+    Message sizes drive the bandwidth (serialization-delay) component of the
+    network model, which in turn produces the large-vs-small message latency
+    split (beta vs rho, Section V) that Commit Moonshot exploits.  Sizes use
+    the constants of the paper's implementation: ED25519 signatures and
+    certificates built from arrays of signatures. *)
+
+val signature : int  (** ED25519 signature: 64 bytes. *)
+
+val hash : int  (** Production digest: 32 bytes. *)
+
+val node_id : int  (** 4 bytes. *)
+
+val view : int  (** 8 bytes. *)
+
+val tag : int  (** Message/vote discriminant: 1 byte. *)
+
+(** Size of a block header: hash, parent hash, view, height, proposer,
+    payload descriptor. *)
+val block_header : int
+
+(** [block ~payload_bytes] is the header plus the payload itself. *)
+val block : payload_bytes:int -> int
+
+(** A signed vote: header-bearing vote for a block hash in a view. *)
+val vote : int
+
+(** [certificate ~signers] is a block certificate carrying [signers]
+    signatures plus the certified block header and view. *)
+val certificate : signers:int -> int

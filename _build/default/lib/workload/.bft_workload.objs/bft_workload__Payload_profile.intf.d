@@ -1,0 +1,1 @@
+lib/workload/payload_profile.mli:

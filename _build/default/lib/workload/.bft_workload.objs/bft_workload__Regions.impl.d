@@ -1,0 +1,1 @@
+lib/workload/regions.ml: Array Bft_sim Format List

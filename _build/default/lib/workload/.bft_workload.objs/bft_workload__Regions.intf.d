@@ -1,0 +1,1 @@
+lib/workload/regions.mli: Bft_sim Format

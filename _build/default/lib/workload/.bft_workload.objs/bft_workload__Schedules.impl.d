@@ -1,0 +1,1 @@
+lib/workload/schedules.ml: Array List

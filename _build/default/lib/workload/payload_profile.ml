@@ -1,0 +1,16 @@
+let happy_path_sizes = [ 0; 1_800; 18_000; 180_000; 1_800_000 ]
+
+let saturation_sizes =
+  [ 0; 1_800; 18_000; 180_000; 900_000; 1_800_000; 3_600_000; 9_000_000 ]
+
+let label bytes =
+  if bytes = 0 then "empty"
+  else if bytes < 1_000 then Printf.sprintf "%dB" bytes
+  else if bytes < 1_000_000 then
+    let k = float_of_int bytes /. 1_000. in
+    if Float.is_integer k then Printf.sprintf "%.0fkB" k
+    else Printf.sprintf "%.1fkB" k
+  else
+    let m = float_of_int bytes /. 1_000_000. in
+    if Float.is_integer m then Printf.sprintf "%.0fMB" m
+    else Printf.sprintf "%.1fMB" m

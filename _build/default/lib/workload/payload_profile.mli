@@ -1,0 +1,11 @@
+(** The payload sizes exercised in the paper's evaluation. *)
+
+(** Figure 6 / Table III grid: empty to 1.8 MB, decade steps
+    (0, 1.8 kB, 18 kB, 180 kB, 1.8 MB) — multiples of the 180-byte item. *)
+val happy_path_sizes : int list
+
+(** Figure 8 extension for the 200-node saturation sweep: up to 9 MB. *)
+val saturation_sizes : int list
+
+(** Human-readable size, e.g. ["18kB"], ["1.8MB"]. *)
+val label : int -> string

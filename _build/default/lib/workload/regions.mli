@@ -1,0 +1,29 @@
+(** The paper's WAN: five AWS regions and their observed inter-region
+    latencies (Table II, 90th percentile, milliseconds).
+
+    Nodes are distributed evenly across the regions round-robin, exactly as
+    in the evaluation setting. *)
+
+type region = Us_east_1 | Us_west_1 | Eu_north_1 | Ap_northeast_1 | Ap_southeast_2
+
+val all : region list
+val count : int
+val name : region -> string
+val index : region -> int
+
+(** [latency_ms ~src ~dst] is the Table II entry, in ms. *)
+val latency_ms : src:region -> dst:region -> float
+
+(** The raw 5x5 latency table, indexed by {!index}. *)
+val table : float array array
+
+(** Region of node [i] in an [n]-node network (round-robin assignment). *)
+val region_of_node : int -> region
+
+(** The {!Bft_sim.Latency.t} model for a WAN built from the table. *)
+val latency_model : unit -> Bft_sim.Latency.t
+
+(** The paper's per-node egress bandwidth: 10 Gbit/s (m5.large burst). *)
+val bandwidth_bps : float
+
+val print_table : Format.formatter -> unit

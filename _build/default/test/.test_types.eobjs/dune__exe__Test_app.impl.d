@@ -1,0 +1,1 @@
+test/test_app.ml: Alcotest Bft_app Bft_types Block Client Command Float Hash Kv_store Ledger List Payload Test_support

@@ -1,0 +1,1 @@
+test/test_chain.ml: Alcotest Bft_chain Bft_types Block Block_store Commit_log Fun List Test_support

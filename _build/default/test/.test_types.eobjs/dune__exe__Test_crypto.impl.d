@@ -1,0 +1,1 @@
+test/test_crypto.ml: Accumulator Alcotest Bft_crypto Bft_types List Signature Signer_set

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Bft_runtime Bft_workload Byzantine Config Float Harness List Metrics Protocol_kind

@@ -1,0 +1,1 @@
+test/test_jolteon.ml: Alcotest Bft_types Block Hotstuff Jolteon Jolteon_msg Jolteon_node List Moonshot Test_support

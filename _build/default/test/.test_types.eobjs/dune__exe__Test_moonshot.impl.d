@@ -1,0 +1,1 @@
+test/test_moonshot.ml: Alcotest Bft_types Block Cert List Message Moonshot Payload Safety_rules Tc Test_support Theory Vote_kind Wire_size

@@ -1,0 +1,1 @@
+test/test_node_core.ml: Alcotest Bft_types Block Cert Hash List Message Moonshot Node_core Sync Test_support Vote_kind

@@ -1,0 +1,1 @@
+test/test_nodes.ml: Alcotest Bft_types Block Cert List Message Moonshot Pipelined_node Simple_node Tc Test_support Vote_kind Wal

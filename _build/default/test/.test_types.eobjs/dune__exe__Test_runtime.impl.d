@@ -1,0 +1,1 @@
+test/test_runtime.ml: Alcotest Bft_chain Bft_runtime Bft_types Bft_workload Block Config Harness List Metrics Moonshot Payload Protocol_kind Test_support

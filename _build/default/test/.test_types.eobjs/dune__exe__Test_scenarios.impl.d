@@ -1,0 +1,1 @@
+test/test_scenarios.ml: Alcotest List Test_support

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Bft_sim Engine Event_queue Float Latency List Network Option Rng

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Bft_stats Buffer Descriptive Format List Outliers String Table

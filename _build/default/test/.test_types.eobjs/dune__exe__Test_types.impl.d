@@ -1,0 +1,1 @@
+test/test_types.ml: Alcotest Bft_types Block Hash List Payload String Test_support Validator_set Wire_size

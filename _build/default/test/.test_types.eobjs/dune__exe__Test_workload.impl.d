@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Bft_sim Bft_types Bft_workload Float List Payload_profile Regions Schedules

@@ -1,0 +1,1 @@
+test/support/builders.ml: Bft_runtime Bft_types Block List Moonshot Option Payload

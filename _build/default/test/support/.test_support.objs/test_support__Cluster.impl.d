@@ -1,0 +1,1 @@
+test/support/cluster.ml: Array Bft_sim Bft_types Env List Moonshot Payload Validator_set

@@ -1,0 +1,1 @@
+test/support/fuzz_net.ml: Array Bft_chain Bft_sim Bft_types Block Env Format Hashtbl List Moonshot Payload Validator_set

@@ -1,0 +1,1 @@
+test/support/mock_env.ml: Bft_types Block Env Float List Option Payload Validator_set

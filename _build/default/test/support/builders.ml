@@ -1,0 +1,34 @@
+(* Construction helpers for protocol data used across test suites. *)
+
+open Bft_types
+
+let payload ?(size = 0) id = Payload.make ~id ~size_bytes:size
+
+(* A block at [view] proposed by the schedule's round-robin leader of a
+   4-node network unless [proposer] is given. *)
+let block ?proposer ?payload_id ?(payload_size = 0) ~view ~parent () =
+  let proposer = Option.value proposer ~default:((view - 1) mod 4) in
+  let payload_id = Option.value payload_id ~default:view in
+  Block.create ~parent ~view ~proposer
+    ~payload:(Payload.make ~id:payload_id ~size_bytes:payload_size)
+
+(* A straight chain of [len] blocks on top of genesis: views 1..len. *)
+let chain ?proposer ?(payload_size = 0) len =
+  let rec go acc parent view =
+    if view > len then List.rev acc
+    else
+      let b = block ?proposer ~payload_size ~view ~parent () in
+      go (b :: acc) b (view + 1)
+  in
+  go [] Block.genesis 1
+
+let cert ?(kind = Moonshot.Vote_kind.Normal) ?(signers = 3) (b : Block.t) =
+  Moonshot.Cert.make ~kind ~view:b.Block.view ~block:b ~signers
+
+let tc ?high_cert ?(signers = 3) view =
+  Moonshot.Tc.make ~view ~high_cert ~signers
+
+(* Run an experiment config and return (result, metrics). *)
+let run cfg =
+  let r = Bft_runtime.Harness.run cfg in
+  (r, r.Bft_runtime.Harness.metrics)

@@ -1,0 +1,90 @@
+(* A hand-cranked environment for driving a single protocol node in unit
+   tests: sent messages land in an outbox, timers fire only when the test
+   advances the clock, and multicasts are immediately looped back to the
+   node (matching the engine's self-delivery semantics). *)
+
+open Bft_types
+
+type 'msg sent = Unicast of int * 'msg | Multicast of 'msg
+
+type 'msg t = {
+  id : int;
+  mutable time : float;
+  mutable outbox : 'msg sent list;  (* newest first *)
+  mutable timers : (float * bool ref * (unit -> unit)) list;
+  mutable committed : Block.t list;  (* newest first *)
+  mutable proposed : Block.t list;
+  self_deliver : (src:int -> 'msg -> unit) option ref;
+}
+
+let create ?(n = 4) ?(delta = 100.) ?leader_of ~id () =
+  let leader_of = Option.value leader_of ~default:(fun view -> (view - 1) mod n) in
+  let t =
+    {
+      id;
+      time = 0.;
+      outbox = [];
+      timers = [];
+      committed = [];
+      proposed = [];
+      self_deliver = ref None;
+    }
+  in
+  let env =
+    {
+      Env.id;
+      validators = Validator_set.make n;
+      delta;
+      now = (fun () -> t.time);
+      send = (fun dst msg -> t.outbox <- Unicast (dst, msg) :: t.outbox);
+      multicast =
+        (fun msg ->
+          t.outbox <- Multicast msg :: t.outbox;
+          match !(t.self_deliver) with
+          | Some f -> f ~src:id msg
+          | None -> ());
+      set_timer =
+        (fun delay f ->
+          let cancelled = ref false in
+          t.timers <- (t.time +. delay, cancelled, f) :: t.timers;
+          fun () -> cancelled := true);
+      leader_of;
+      make_payload = (fun ~view -> Payload.make ~id:view ~size_bytes:0);
+      on_commit = (fun b -> t.committed <- b :: t.committed);
+      on_propose = (fun b -> t.proposed <- b :: t.proposed);
+    }
+  in
+  (t, env)
+
+(* Attach the node's handler so its own multicasts loop back. *)
+let attach t handler = t.self_deliver := Some handler
+
+(* Fire all timers due at or before [to_]; earliest first. *)
+let advance t ~to_ =
+  if to_ < t.time then invalid_arg "Mock_env.advance: time going backwards";
+  let rec fire () =
+    let due =
+      List.filter (fun (at, cancelled, _) -> at <= to_ && not !cancelled) t.timers
+    in
+    match List.sort (fun (a, _, _) (b, _, _) -> Float.compare a b) due with
+    | [] -> t.time <- to_
+    | (at, cancelled, f) :: _ ->
+        t.time <- at;
+        cancelled := true;  (* consume: one-shot *)
+        f ();
+        fire ()
+  in
+  fire ()
+
+let sent t = List.rev t.outbox
+let clear_outbox t = t.outbox <- []
+let committed t = List.rev t.committed
+let proposed t = List.rev t.proposed
+
+(* Messages multicast so far, oldest first. *)
+let multicasts t =
+  List.filter_map (function Multicast m -> Some m | Unicast _ -> None) (sent t)
+
+let unicasts t =
+  List.filter_map (function Unicast (d, m) -> Some (d, m) | Multicast _ -> None)
+    (sent t)

@@ -1,0 +1,231 @@
+open Bft_types
+open Bft_chain
+module B = Test_support.Builders
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Block store ------------------------------------------------------------ *)
+
+let test_store_has_genesis () =
+  let s = Block_store.create () in
+  check "genesis present" true (Block_store.mem s Block.genesis.Block.hash);
+  check_int "size 1" 1 (Block_store.size s)
+
+let test_store_insert_idempotent () =
+  let s = Block_store.create () in
+  let b = B.block ~view:1 ~parent:Block.genesis () in
+  check "first insert new" true (Block_store.insert s b);
+  check "second insert not new" false (Block_store.insert s b);
+  check_int "size 2" 2 (Block_store.size s)
+
+let test_store_parent_children () =
+  let s = Block_store.create () in
+  let b1 = B.block ~view:1 ~parent:Block.genesis () in
+  let b2a = B.block ~view:2 ~parent:b1 () in
+  let b2b = B.block ~view:3 ~parent:b1 () in
+  List.iter (fun b -> ignore (Block_store.insert s b)) [ b1; b2a; b2b ];
+  check "parent resolves" true (Block_store.parent s b2a = Some b1);
+  check "genesis has no parent" true (Block_store.parent s Block.genesis = None);
+  let kids = Block_store.children s b1.Block.hash in
+  check_int "two children" 2 (List.length kids);
+  check "children are the forks" true
+    (List.for_all (fun (c : Block.t) -> Block.equal c b2a || Block.equal c b2b) kids)
+
+let test_store_ancestry () =
+  let s = Block_store.create () in
+  let chain = B.chain 5 in
+  List.iter (fun b -> ignore (Block_store.insert s b)) chain;
+  let b1 = List.nth chain 0 and b5 = List.nth chain 4 in
+  check "b1 ancestor of b5" true
+    (Block_store.is_ancestor s ~ancestor:b1 ~of_:b5 = `Yes);
+  check "b5 not ancestor of b1" true
+    (Block_store.is_ancestor s ~ancestor:b5 ~of_:b1 = `No);
+  check "self ancestor" true (Block_store.is_ancestor s ~ancestor:b5 ~of_:b5 = `Yes);
+  check "genesis ancestor of all" true
+    (Block_store.is_ancestor s ~ancestor:Block.genesis ~of_:b5 = `Yes)
+
+let test_store_ancestry_fork () =
+  let s = Block_store.create () in
+  let b1 = B.block ~view:1 ~parent:Block.genesis () in
+  let b2a = B.block ~view:2 ~parent:b1 () in
+  let b2b = B.block ~view:3 ~parent:b1 () in
+  let b3a = B.block ~view:4 ~parent:b2a () in
+  List.iter (fun b -> ignore (Block_store.insert s b)) [ b1; b2a; b2b; b3a ];
+  check "cousin not ancestor" true
+    (Block_store.is_ancestor s ~ancestor:b2b ~of_:b3a = `No);
+  check "fork point is ancestor of both" true
+    (Block_store.is_ancestor s ~ancestor:b1 ~of_:b2b = `Yes)
+
+let test_store_unknown_gap () =
+  let s = Block_store.create () in
+  let chain = B.chain 3 in
+  (* Insert only the tip: its parents are missing. *)
+  ignore (Block_store.insert s (List.nth chain 2));
+  check "gap reported as unknown" true
+    (Block_store.is_ancestor s ~ancestor:Block.genesis ~of_:(List.nth chain 2)
+    = `Unknown);
+  check "chain_to fails on gap" true
+    (Block_store.chain_to s (List.nth chain 2) = None)
+
+let test_store_descendants () =
+  let s = Block_store.create () in
+  let b1 = B.block ~view:1 ~parent:Block.genesis () in
+  let b2 = B.block ~view:2 ~parent:b1 () in
+  let b3 = B.block ~view:3 ~parent:b2 () in
+  List.iter (fun b -> ignore (Block_store.insert s b)) [ b1; b2; b3 ];
+  check_int "descendants of b1" 2 (List.length (Block_store.descendants s b1.Block.hash));
+  check_int "descendants of genesis" 3
+    (List.length (Block_store.descendants s Block.genesis.Block.hash));
+  check_int "tip has none" 0 (List.length (Block_store.descendants s b3.Block.hash))
+
+let test_store_chain_to () =
+  let s = Block_store.create () in
+  let chain = B.chain 4 in
+  List.iter (fun b -> ignore (Block_store.insert s b)) chain;
+  match Block_store.chain_to s (List.nth chain 3) with
+  | None -> Alcotest.fail "expected full chain"
+  | Some full ->
+      check_int "genesis + 4" 5 (List.length full);
+      check "starts at genesis" true (Block.is_genesis (List.hd full));
+      check "heights ascend" true
+        (List.mapi (fun i (b : Block.t) -> b.Block.height = i) full
+        |> List.for_all Fun.id)
+
+(* --- Commit log ----------------------------------------------------------------- *)
+
+let store_with blocks =
+  let s = Block_store.create () in
+  List.iter (fun b -> ignore (Block_store.insert s b)) blocks;
+  s
+
+let test_log_initial () =
+  let log = Commit_log.create () in
+  check_int "empty" 0 (Commit_log.length log);
+  check "last is genesis" true (Block.is_genesis (Commit_log.last log));
+  check "genesis committed" true
+    (Commit_log.is_committed log Block.genesis.Block.hash)
+
+let test_log_commit_chain_order () =
+  let chain = B.chain 3 in
+  let s = store_with chain in
+  let order = ref [] in
+  let log = Commit_log.create ~on_commit:(fun b -> order := b :: !order) () in
+  (* Committing the tip commits all ancestors first. *)
+  let newly = Commit_log.commit log s (List.nth chain 2) in
+  check_int "three new" 3 (List.length newly);
+  check "callback ran oldest-first" true
+    (List.rev !order |> List.map (fun (b : Block.t) -> b.Block.height)
+    = [ 1; 2; 3 ]);
+  check_int "length 3" 3 (Commit_log.length log)
+
+let test_log_commit_idempotent () =
+  let chain = B.chain 2 in
+  let s = store_with chain in
+  let log = Commit_log.create () in
+  ignore (Commit_log.commit log s (List.nth chain 1));
+  check "recommit returns nothing" true
+    (Commit_log.commit log s (List.nth chain 0) = []);
+  check_int "length unchanged" 2 (Commit_log.length log)
+
+let test_log_extension () =
+  let chain = B.chain 4 in
+  let s = store_with chain in
+  let log = Commit_log.create () in
+  ignore (Commit_log.commit log s (List.nth chain 1));
+  let newly = Commit_log.commit log s (List.nth chain 3) in
+  check_int "only the suffix commits" 2 (List.length newly);
+  check "at_height view" true
+    (Commit_log.at_height log 3 = Some (List.nth chain 2))
+
+let test_log_conflict_same_height () =
+  let b1 = B.block ~view:1 ~parent:Block.genesis () in
+  let b1' = B.block ~view:2 ~parent:Block.genesis () in
+  let s = store_with [ b1; b1' ] in
+  let log = Commit_log.create () in
+  ignore (Commit_log.commit log s b1);
+  check "conflicting commit raises" true
+    (try
+       ignore (Commit_log.commit log s b1');
+       false
+     with Commit_log.Safety_violation _ -> true)
+
+let test_log_fork_below_frontier () =
+  let b1 = B.block ~view:1 ~parent:Block.genesis () in
+  let b2 = B.block ~view:2 ~parent:b1 () in
+  let b1' = B.block ~view:3 ~parent:Block.genesis () in
+  let b2' = B.block ~view:4 ~parent:b1' () in
+  let s = store_with [ b1; b2; b1'; b2' ] in
+  let log = Commit_log.create () in
+  ignore (Commit_log.commit log s b2);
+  check "committing a forked descendant raises" true
+    (try
+       ignore (Commit_log.commit log s b2');
+       false
+     with Commit_log.Safety_violation _ -> true)
+
+let test_log_missing_ancestor () =
+  let chain = B.chain 3 in
+  let s = store_with [ List.nth chain 2 ] in
+  let log = Commit_log.create () in
+  check "missing ancestor is invalid-arg" true
+    (try
+       ignore (Commit_log.commit log s (List.nth chain 2));
+       false
+     with Invalid_argument _ -> true)
+
+let test_log_to_list () =
+  let chain = B.chain 2 in
+  let s = store_with chain in
+  let log = Commit_log.create () in
+  ignore (Commit_log.commit log s (List.nth chain 1));
+  check_int "list includes genesis" 3 (List.length (Commit_log.to_list log))
+
+
+let test_log_long_chain_growth () =
+  (* Exercise the commit log's capacity doubling across hundreds of
+     heights. *)
+  let chain = B.chain 300 in
+  let s = store_with chain in
+  let log = Commit_log.create () in
+  let newly = Commit_log.commit log s (List.nth chain 299) in
+  check_int "all 300 commit" 300 (List.length newly);
+  check_int "length" 300 (Commit_log.length log);
+  check "tip right" true (Block.equal (Commit_log.last log) (List.nth chain 299));
+  check "random access works" true
+    (Commit_log.at_height log 150 = Some (List.nth chain 149))
+
+let test_log_at_height_bounds () =
+  let log = Commit_log.create () in
+  check "negative height" true (Commit_log.at_height log (-1) = None);
+  check "beyond frontier" true (Commit_log.at_height log 1 = None);
+  check "genesis at zero" true (Commit_log.at_height log 0 = Some Block.genesis)
+
+let () =
+  Alcotest.run "chain"
+    [
+      ( "block-store",
+        [
+          Alcotest.test_case "genesis present" `Quick test_store_has_genesis;
+          Alcotest.test_case "insert idempotent" `Quick test_store_insert_idempotent;
+          Alcotest.test_case "parent/children" `Quick test_store_parent_children;
+          Alcotest.test_case "ancestry" `Quick test_store_ancestry;
+          Alcotest.test_case "ancestry across forks" `Quick test_store_ancestry_fork;
+          Alcotest.test_case "unknown on gaps" `Quick test_store_unknown_gap;
+          Alcotest.test_case "descendants" `Quick test_store_descendants;
+          Alcotest.test_case "chain_to" `Quick test_store_chain_to;
+        ] );
+      ( "commit-log",
+        [
+          Alcotest.test_case "initial state" `Quick test_log_initial;
+          Alcotest.test_case "chain-order commits" `Quick test_log_commit_chain_order;
+          Alcotest.test_case "idempotent" `Quick test_log_commit_idempotent;
+          Alcotest.test_case "extension" `Quick test_log_extension;
+          Alcotest.test_case "conflict detected" `Quick test_log_conflict_same_height;
+          Alcotest.test_case "fork below frontier" `Quick test_log_fork_below_frontier;
+          Alcotest.test_case "missing ancestor" `Quick test_log_missing_ancestor;
+          Alcotest.test_case "to_list" `Quick test_log_to_list;
+          Alcotest.test_case "long chain growth" `Quick test_log_long_chain_growth;
+          Alcotest.test_case "at_height bounds" `Quick test_log_at_height_bounds;
+        ] );
+    ]

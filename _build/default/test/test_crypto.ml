@@ -1,0 +1,151 @@
+open Bft_crypto
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* --- Signature --------------------------------------------------------------- *)
+
+let digest s = Bft_types.Hash.of_string s
+
+let test_sign_verify () =
+  let s = Signature.sign ~signer:3 (digest "block") in
+  check "verifies for signer and digest" true
+    (Signature.verify s ~signer:3 (digest "block"));
+  check_int "reports signer" 3 (Signature.signer s)
+
+let test_verify_rejects () =
+  let s = Signature.sign ~signer:3 (digest "block") in
+  check "wrong signer rejected" false (Signature.verify s ~signer:4 (digest "block"));
+  check "wrong digest rejected" false (Signature.verify s ~signer:3 (digest "other"))
+
+(* --- Signer set --------------------------------------------------------------- *)
+
+let test_signer_set_basic () =
+  let s = Signer_set.create ~n:10 in
+  check_int "starts empty" 0 (Signer_set.count s);
+  check "first add is new" true (Signer_set.add s 3);
+  check "second add is duplicate" false (Signer_set.add s 3);
+  check_int "count ignores duplicates" 1 (Signer_set.count s);
+  check "mem added" true (Signer_set.mem s 3);
+  check "not mem others" false (Signer_set.mem s 4)
+
+let test_signer_set_bounds () =
+  let s = Signer_set.create ~n:8 in
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Signer_set: signer out of range") (fun () ->
+      ignore (Signer_set.add s 8));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Signer_set: signer out of range") (fun () ->
+      ignore (Signer_set.add s (-1)))
+
+let test_signer_set_full_and_list () =
+  let n = 67 in
+  let s = Signer_set.create ~n in
+  for i = 0 to n - 1 do
+    ignore (Signer_set.add s i)
+  done;
+  check_int "all added" n (Signer_set.count s);
+  check "list is sorted identity" true
+    (Signer_set.to_list s = List.init n (fun i -> i))
+
+let test_signer_set_copy_independent () =
+  let s = Signer_set.create ~n:4 in
+  ignore (Signer_set.add s 0);
+  let c = Signer_set.copy s in
+  ignore (Signer_set.add c 1);
+  check_int "original unchanged" 1 (Signer_set.count s);
+  check_int "copy advanced" 2 (Signer_set.count c)
+
+(* --- Accumulator ---------------------------------------------------------------- *)
+
+let test_accumulator_threshold_fires_once () =
+  let acc = Accumulator.create ~n:4 ~threshold:3 in
+  let key = "k" in
+  check "1st added" true (Accumulator.add acc key ~signer:0 = Accumulator.Added 1);
+  check "2nd added" true (Accumulator.add acc key ~signer:1 = Accumulator.Added 2);
+  (match Accumulator.add acc key ~signer:2 with
+  | Accumulator.Threshold_reached signers ->
+      check "carries the three signers" true (List.sort compare signers = [ 0; 1; 2 ])
+  | _ -> Alcotest.fail "expected threshold");
+  check "4th is past quorum" true
+    (Accumulator.add acc key ~signer:3 = Accumulator.Already_complete);
+  check "complete" true (Accumulator.is_complete acc key)
+
+let test_accumulator_dedup () =
+  let acc = Accumulator.create ~n:4 ~threshold:3 in
+  ignore (Accumulator.add acc "k" ~signer:0);
+  check "same signer is duplicate" true
+    (Accumulator.add acc "k" ~signer:0 = Accumulator.Duplicate);
+  check_int "count unchanged" 1 (Accumulator.count acc "k")
+
+let test_accumulator_keys_independent () =
+  let acc = Accumulator.create ~n:4 ~threshold:2 in
+  ignore (Accumulator.add acc "a" ~signer:0);
+  ignore (Accumulator.add acc "b" ~signer:1);
+  check_int "a has one" 1 (Accumulator.count acc "a");
+  check_int "b has one" 1 (Accumulator.count acc "b");
+  check "neither complete" true
+    ((not (Accumulator.is_complete acc "a")) && not (Accumulator.is_complete acc "b"))
+
+let test_accumulator_threshold_one () =
+  let acc = Accumulator.create ~n:4 ~threshold:1 in
+  (match Accumulator.add acc 42 ~signer:2 with
+  | Accumulator.Threshold_reached [ 2 ] -> ()
+  | _ -> Alcotest.fail "single-signer threshold should fire immediately");
+  check "bad threshold rejected" true
+    (try
+       ignore (Accumulator.create ~n:4 ~threshold:0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_accumulator_quorum_semantics () =
+  (* A 2f+1 threshold over n = 3f+1 signers cannot be met by f Byzantine
+     plus f honest contributions. *)
+  let n = 10 in
+  let f = 3 in
+  let acc = Accumulator.create ~n ~threshold:((2 * f) + 1) in
+  for i = 0 to (2 * f) - 1 do
+    match Accumulator.add acc () ~signer:i with
+    | Accumulator.Added _ -> ()
+    | _ -> Alcotest.fail "should still be accumulating"
+  done;
+  check "one short of quorum" false (Accumulator.is_complete acc ())
+
+
+let test_accumulator_unreachable_threshold () =
+  (* Threshold above n can never fire, no matter how many contribute. *)
+  let acc = Accumulator.create ~n:4 ~threshold:5 in
+  for signer = 0 to 3 do
+    (match Accumulator.add acc () ~signer with
+    | Accumulator.Threshold_reached _ -> Alcotest.fail "fired impossibly"
+    | _ -> ())
+  done;
+  check "never complete" false (Accumulator.is_complete acc ())
+
+let () =
+  Alcotest.run "crypto"
+    [
+      ( "signature",
+        [
+          Alcotest.test_case "sign/verify" `Quick test_sign_verify;
+          Alcotest.test_case "rejects forgery" `Quick test_verify_rejects;
+        ] );
+      ( "signer-set",
+        [
+          Alcotest.test_case "basics" `Quick test_signer_set_basic;
+          Alcotest.test_case "bounds" `Quick test_signer_set_bounds;
+          Alcotest.test_case "full set + listing" `Quick test_signer_set_full_and_list;
+          Alcotest.test_case "copy independence" `Quick test_signer_set_copy_independent;
+        ] );
+      ( "accumulator",
+        [
+          Alcotest.test_case "threshold fires once" `Quick
+            test_accumulator_threshold_fires_once;
+          Alcotest.test_case "dedup" `Quick test_accumulator_dedup;
+          Alcotest.test_case "independent keys" `Quick test_accumulator_keys_independent;
+          Alcotest.test_case "threshold one" `Quick test_accumulator_threshold_one;
+          Alcotest.test_case "quorum semantics" `Quick test_accumulator_quorum_semantics;
+          Alcotest.test_case "unreachable threshold" `Quick
+            test_accumulator_unreachable_threshold;
+        ] );
+    ]

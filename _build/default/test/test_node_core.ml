@@ -1,0 +1,272 @@
+(* Unit tests for the machinery shared by every node implementation:
+   vote aggregation, certificate tables, the generalized k-chain commit rule
+   and deferred commits. *)
+
+open Bft_types
+open Moonshot
+module B = Test_support.Builders
+module Mock = Test_support.Mock_env
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let chain = B.chain 6
+let blk v = List.nth chain (v - 1)
+let cert_of v = B.cert (blk v)
+
+let make () =
+  let _mock, env = Mock.create ~n:4 ~id:0 () in
+  Node_core.create env
+
+let test_genesis_preloaded () =
+  let core = make () in
+  check_int "genesis cert on file" 1 (List.length (Node_core.certs_at core 0));
+  check_int "high cert is genesis" 0 (Node_core.high_cert core).Cert.view
+
+let test_add_vote_quorum () =
+  let core = make () in
+  check "two votes no cert" true
+    (Node_core.add_vote core ~signer:0 ~kind:Vote_kind.Normal (blk 1) = None
+    && Node_core.add_vote core ~signer:1 ~kind:Vote_kind.Normal (blk 1) = None);
+  (match Node_core.add_vote core ~signer:2 ~kind:Vote_kind.Normal (blk 1) with
+  | Some cert ->
+      check_int "cert view" 1 cert.Cert.view;
+      check_int "three signers" 3 cert.Cert.signers
+  | None -> Alcotest.fail "third vote should complete the certificate");
+  check "fourth vote does not re-fire" true
+    (Node_core.add_vote core ~signer:3 ~kind:Vote_kind.Normal (blk 1) = None)
+
+let test_add_vote_dedup_and_kinds () =
+  let core = make () in
+  ignore (Node_core.add_vote core ~signer:0 ~kind:Vote_kind.Normal (blk 1));
+  check "duplicate signer ignored" true
+    (Node_core.add_vote core ~signer:0 ~kind:Vote_kind.Normal (blk 1) = None);
+  (* Opt votes accumulate separately: two opts + two normals never certify. *)
+  ignore (Node_core.add_vote core ~signer:1 ~kind:Vote_kind.Opt (blk 1));
+  ignore (Node_core.add_vote core ~signer:2 ~kind:Vote_kind.Opt (blk 1));
+  check "kinds kept apart" true
+    (Node_core.add_vote core ~signer:1 ~kind:Vote_kind.Normal (blk 1) = None)
+
+let test_record_cert_and_high () =
+  let core = make () in
+  check "new cert recorded" true (Node_core.record_cert core (cert_of 2));
+  check "duplicate rejected" false (Node_core.record_cert core (cert_of 2));
+  check_int "high cert tracks" 2 (Node_core.high_cert core).Cert.view;
+  ignore (Node_core.record_cert core (cert_of 1));
+  check_int "lower cert does not lower high" 2 (Node_core.high_cert core).Cert.view
+
+let test_same_view_different_kind_both_recorded () =
+  let core = make () in
+  ignore (Node_core.record_cert core (B.cert ~kind:Vote_kind.Opt (blk 2)));
+  ignore (Node_core.record_cert core (B.cert ~kind:Vote_kind.Normal (blk 2)));
+  check_int "both kinds filed" 2 (List.length (Node_core.certs_at core 2))
+
+let test_chain_commits_depth2 () =
+  let core = make () in
+  ignore (Node_core.record_cert core (cert_of 1));
+  let commits = ref [] in
+  ignore (Node_core.record_cert core (cert_of 2));
+  commits := Node_core.chain_commits core ~depth:2 (cert_of 2);
+  check "consecutive pair commits the parent" true
+    (match !commits with [ b ] -> Block.equal b (blk 1) | _ -> false)
+
+let test_chain_commits_depth2_reverse_arrival () =
+  (* The older certificate arrives last: the rule still fires. *)
+  let core = make () in
+  ignore (Node_core.record_cert core (cert_of 2));
+  ignore (Node_core.record_cert core (cert_of 1));
+  let commits = Node_core.chain_commits core ~depth:2 (cert_of 1) in
+  (* The (0,1) window also "commits" genesis — a no-op downstream. *)
+  check "works from the other side" true
+    (List.exists (Block.equal (blk 1)) commits)
+
+let test_chain_commits_depth3 () =
+  let core = make () in
+  ignore (Node_core.record_cert core (cert_of 1));
+  ignore (Node_core.record_cert core (cert_of 2));
+  check "two certs above genesis are not enough at depth 3" true
+    (not
+       (List.exists
+          (Block.equal (blk 1))
+          (Node_core.chain_commits core ~depth:3 (cert_of 2))));
+  ignore (Node_core.record_cert core (cert_of 3));
+  let commits = Node_core.chain_commits core ~depth:3 (cert_of 3) in
+  check "three-chain commits the base" true
+    (List.exists (fun b -> Block.equal b (blk 1)) commits)
+
+let test_chain_commits_gap_blocks () =
+  let core = make () in
+  ignore (Node_core.record_cert core (cert_of 1));
+  ignore (Node_core.record_cert core (cert_of 3));
+  check "view gap yields nothing" true
+    (Node_core.chain_commits core ~depth:2 (cert_of 3) = [])
+
+let test_chain_commits_fork_blocks () =
+  (* Consecutive views but no parent link: a fork off view 1's sibling. *)
+  let core = make () in
+  let fork2 = B.block ~view:2 ~payload_id:99 ~parent:Block.genesis () in
+  ignore (Node_core.record_cert core (cert_of 1));
+  ignore (Node_core.record_cert core (B.cert fork2));
+  check "parent link required" true
+    (Node_core.chain_commits core ~depth:2 (B.cert fork2) = [])
+
+let test_chain_commits_depth_validation () =
+  let core = make () in
+  check "depth 1 rejected" true
+    (try
+       ignore (Node_core.chain_commits core ~depth:1 (cert_of 1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_depth3_implies_depth2 () =
+  (* Everything the 3-chain rule ever commits, the 2-chain rule commits too
+     (3-chain is strictly more conservative), comparing the unions over all
+     recorded certificates. *)
+  let core = make () in
+  List.iter (fun v -> ignore (Node_core.record_cert core (cert_of v))) [ 1; 2; 3; 4 ];
+  let union depth =
+    List.concat_map
+      (fun v -> Node_core.chain_commits core ~depth (cert_of v))
+      [ 1; 2; 3; 4 ]
+  in
+  let two = union 2 in
+  List.iter
+    (fun b3 ->
+      check "3-chain commit is a 2-chain commit" true
+        (List.exists (Block.equal b3) two))
+    (union 3)
+
+let test_deferred_commit_until_ancestors () =
+  let mock, env = Mock.create ~n:4 ~id:0 () in
+  let core = Node_core.create env in
+  (* Commit block 3 while blocks 1 and 2 are unknown: deferred. *)
+  Node_core.note_block core (blk 3);
+  Node_core.commit core (blk 3);
+  check_int "nothing committed yet" 0 (Node_core.committed core);
+  Node_core.note_block core (blk 1);
+  check_int "still waiting for block 2" 0 (Node_core.committed core);
+  Node_core.note_block core (blk 2);
+  check_int "completes once connected" 3 (Node_core.committed core);
+  check "commit callbacks ran in order" true
+    (List.map (fun (b : Block.t) -> b.Block.height) (Mock.committed mock)
+    = [ 1; 2; 3 ])
+
+let test_commit_idempotent () =
+  let core = make () in
+  Node_core.note_block core (blk 1);
+  Node_core.commit core (blk 1);
+  Node_core.commit core (blk 1);
+  check_int "once" 1 (Node_core.committed core)
+
+
+(* --- chain segments (synchronizer supply side) ------------------------------- *)
+
+let test_chain_segment () =
+  let core = make () in
+  List.iter (fun v -> Node_core.note_block core (blk v)) [ 1; 2; 3; 4 ];
+  let seg = Node_core.chain_segment core (blk 3).Block.hash ~max:10 in
+  check "oldest first, genesis included" true
+    (List.map (fun (b : Block.t) -> b.Block.height) seg = [ 0; 1; 2; 3 ]);
+  let capped = Node_core.chain_segment core (blk 4).Block.hash ~max:2 in
+  check "max caps the segment" true
+    (List.map (fun (b : Block.t) -> b.Block.height) capped = [ 3; 4 ]);
+  check "unknown hash yields nothing" true
+    (Node_core.chain_segment core (Hash.of_string "nope") ~max:4 = [])
+
+let test_first_missing () =
+  let core = make () in
+  check "nothing deferred, nothing missing" true
+    (Node_core.first_missing core = None);
+  Node_core.note_block core (blk 3);
+  Node_core.commit core (blk 3);
+  (match Node_core.first_missing core with
+  | Some (h, hint) ->
+      check "missing hash is block 2's" true (Hash.equal h (blk 2).Block.hash);
+      check_int "hint is the child's proposer" (blk 3).Block.proposer hint
+  | None -> Alcotest.fail "expected a missing ancestor");
+  Node_core.note_block core (blk 2);
+  (match Node_core.first_missing core with
+  | Some (h, _) -> check "walks deeper" true (Hash.equal h (blk 1).Block.hash)
+  | None -> Alcotest.fail "block 1 still missing");
+  Node_core.note_block core (blk 1);
+  check "resolved" true (Node_core.first_missing core = None)
+
+
+(* --- Synchronizer policy -------------------------------------------------------- *)
+
+let test_sync_retry_rotates_targets () =
+  (* The first request goes to the hinted proposer; if the gap persists the
+     retry timer rotates to other peers (the hint may be Byzantine). *)
+  let mock, env = Mock.create ~n:4 ~id:0 ~delta:100. () in
+  let core = Node_core.create env in
+  let sync =
+    Sync.create ~core ~env
+      ~make_request:(fun hash -> Message.Block_request { hash })
+      ~make_response:(fun blocks -> Message.Blocks_response { blocks })
+  in
+  (* Defer a commit on block 3 (blocks 1-2 missing; hint = blk 3's proposer,
+     node 2). *)
+  Node_core.note_block core (blk 3);
+  Node_core.commit core (blk 3);
+  Sync.poke sync;
+  check_int "one request so far" 1 (Sync.requests_sent sync);
+  (* The retry timer fires after delta; still missing, so it re-requests
+     from the next peer. *)
+  Mock.advance mock ~to_:150.;
+  check "retried" true (Sync.requests_sent sync >= 2);
+  let targets =
+    List.filter_map
+      (function dst, Message.Block_request _ -> Some dst | _ -> None)
+      (Mock.unicasts mock)
+  in
+  check "requests avoid self" true (List.for_all (fun d -> d <> 0) targets);
+  check "first went to the hinted proposer" true
+    (match targets with first :: _ -> first = (blk 3).Block.proposer | [] -> false);
+  check "targets rotate on retry" true
+    (List.length (List.sort_uniq compare targets) >= 2);
+  (* Once the gap closes, no more requests. *)
+  Node_core.note_block core (blk 1);
+  Node_core.note_block core (blk 2);
+  let before = Sync.requests_sent sync in
+  Mock.advance mock ~to_:600.;
+  check_int "quiet after resolution" before (Sync.requests_sent sync)
+
+let () =
+  Alcotest.run "node-core"
+    [
+      ( "votes",
+        [
+          Alcotest.test_case "genesis preloaded" `Quick test_genesis_preloaded;
+          Alcotest.test_case "quorum" `Quick test_add_vote_quorum;
+          Alcotest.test_case "dedup + kinds" `Quick test_add_vote_dedup_and_kinds;
+        ] );
+      ( "certs",
+        [
+          Alcotest.test_case "record + high" `Quick test_record_cert_and_high;
+          Alcotest.test_case "kinds coexist" `Quick
+            test_same_view_different_kind_both_recorded;
+        ] );
+      ( "chain-commits",
+        [
+          Alcotest.test_case "depth 2" `Quick test_chain_commits_depth2;
+          Alcotest.test_case "reverse arrival" `Quick
+            test_chain_commits_depth2_reverse_arrival;
+          Alcotest.test_case "depth 3" `Quick test_chain_commits_depth3;
+          Alcotest.test_case "gaps" `Quick test_chain_commits_gap_blocks;
+          Alcotest.test_case "forks" `Quick test_chain_commits_fork_blocks;
+          Alcotest.test_case "depth validation" `Quick test_chain_commits_depth_validation;
+          Alcotest.test_case "3-chain implies 2-chain" `Quick test_depth3_implies_depth2;
+        ] );
+      ( "sync-hooks",
+        [
+          Alcotest.test_case "chain segment" `Quick test_chain_segment;
+          Alcotest.test_case "first missing" `Quick test_first_missing;
+          Alcotest.test_case "retry rotation" `Quick test_sync_retry_rotates_targets;
+        ] );
+      ( "commits",
+        [
+          Alcotest.test_case "deferred until ancestors" `Quick
+            test_deferred_commit_until_ancestors;
+          Alcotest.test_case "idempotent" `Quick test_commit_idempotent;
+        ] );
+    ]
