@@ -65,10 +65,40 @@ let test_signer_set =
            ignore (Bft_crypto.Signer_set.add s i)
          done))
 
+let trace_event i =
+  {
+    Bft_obs.Trace.time = float_of_int i;
+    node = i mod 4;
+    kind =
+      Bft_obs.Trace.Node_event
+        (Probe.Vote_sent { view = i; height = i; kind = "normal" });
+  }
+
+let test_trace_emit =
+  Test.make ~name:"trace emit x64 (enabled)"
+    (Staged.stage (fun () ->
+         let t = Bft_obs.Trace.create () in
+         for i = 0 to 63 do
+           Bft_obs.Trace.emit t (trace_event i)
+         done))
+
+(* The price an untraced run pays per probe site: one None check, no
+   event allocation (the thunk is never forced). *)
+let test_probe_disabled =
+  Test.make ~name:"probe emit x64 (disabled env)"
+    (Staged.stage (fun () ->
+         let probe : (Probe.event -> unit) option = None in
+         for i = 0 to 63 do
+           match probe with
+           | None -> ()
+           | Some f -> f (Probe.Timeout_sent { view = i })
+         done))
+
 let tests =
   [
     test_block_create; test_vote_aggregation; test_event_queue;
-    test_store_ancestry; test_signer_set;
+    test_store_ancestry; test_signer_set; test_trace_emit;
+    test_probe_disabled;
   ]
 
 let run () =

@@ -23,4 +23,5 @@ type stats = {
 (** Raises [Invalid_argument] when fewer than two blocks committed. *)
 val analyze : block_timeline -> stats
 
+(** Multi-line human-readable rendering of the stats. *)
 val pp : Format.formatter -> stats -> unit

@@ -19,5 +19,8 @@ val encoded_size : int
     commands, deterministically from [p.id]. *)
 val of_payload : Bft_types.Payload.t -> t list
 
+(** Structural equality. *)
 val equal : t -> t -> bool
+
+(** Human-readable rendering, e.g. [set k3=17]. *)
 val pp : Format.formatter -> t -> unit

@@ -6,8 +6,13 @@
 
 type t
 
+(** An empty store. *)
 val create : unit -> t
+
+(** Execute one command against the store. *)
 val apply : t -> Command.t -> unit
+
+(** Current value bound to a key, if any. *)
 val find : t -> string -> int option
 val size : t -> int  (** Number of live keys. *)
 

@@ -8,6 +8,7 @@
 
 type t
 
+(** A fresh ledger at height 0 over an empty store. *)
 val create : unit -> t
 
 (** [apply_block t b] executes [b]'s commands.  Blocks must arrive in chain
@@ -17,7 +18,10 @@ val apply_block : t -> Bft_types.Block.t -> unit
 
 val height : t -> int  (** Height of the last applied block (0 initially). *)
 
+(** The underlying state machine (live view, not a copy). *)
 val store : t -> Kv_store.t
+
+(** Digest of the current state, [Kv_store.digest (store t)]. *)
 val digest : t -> Bft_types.Hash.t
 
 (** State digest as it was right after applying the block at [height];
@@ -25,4 +29,5 @@ val digest : t -> Bft_types.Hash.t
     different heights be compared on their common prefix. *)
 val digest_at : t -> int -> Bft_types.Hash.t option
 
+(** Total commands executed across all applied blocks. *)
 val commands_applied : t -> int

@@ -78,6 +78,16 @@ let classify = function
   | Cert_gossip _ | Tc_gossip _ | Status _ | Block_request _ | Blocks_response _
     -> `Other
 
+let view_of = function
+  | Opt_propose { block } | Propose { block; _ } | Fb_propose { block; _ } ->
+      Some block.Block.view
+  | Vote { block; _ } -> Some block.Block.view
+  | Timeout { view; _ } | Status { view; _ } | Commit_vote { view; _ } ->
+      Some view
+  | Cert_gossip c -> Some c.Cert.view
+  | Tc_gossip tc -> Some tc.Tc.view
+  | Block_request _ | Blocks_response _ -> None
+
 let pp ppf = function
   | Opt_propose { block } -> Format.fprintf ppf "opt-propose(%a)" Block.pp block
   | Propose { block; cert } ->

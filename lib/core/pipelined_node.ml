@@ -132,6 +132,7 @@ and send_timeout t view =
     Hashtbl.replace t.timeout_sent view ();
     t.timeout_view <- max t.timeout_view view;
     persist t;
+    Env.emit t.env (fun () -> Probe.Timeout_sent { view });
     t.env.Env.multicast (Message.Timeout { view; lock = Some t.lock })
   end
 
@@ -142,6 +143,15 @@ and advance_to t view how =
     | Via_cert c -> t.env.Env.multicast (Message.Cert_gossip c)
     | Via_tc tc -> t.env.Env.send (t.env.Env.leader_of view) (Message.Tc_gossip tc)
     | Via_start | Via_recovery -> ());
+    Env.emit t.env (fun () ->
+        let via =
+          match how with
+          | Via_cert _ -> `Cert
+          | Via_tc _ -> `Tc
+          | Via_start -> `Start
+          | Via_recovery -> `Recovery
+        in
+        Probe.View_entered { view; via });
     t.cur_view <- view;
     t.voted_opt <- None;
     t.voted_main <- false;
@@ -243,6 +253,13 @@ and try_fallback_vote t block cert tc =
   end
 
 and cast_vote t kind (block : Block.t) =
+  Env.emit t.env (fun () ->
+      Probe.Vote_sent
+        {
+          view = block.Block.view;
+          height = block.Block.height;
+          kind = Format.asprintf "%a" Vote_kind.pp kind;
+        });
   t.env.Env.multicast (Message.Vote { kind; block });
   (* Optimistic Propose: the next leader extends the block it just voted
      for, without waiting to observe its certification. *)
@@ -270,6 +287,13 @@ and maybe_commit_vote t (c : Cert.t) =
     if direct || indirect () then begin
       prune_commit_voted t;
       Hashtbl.replace t.commit_voted (Hash.to_int block.Block.hash) block;
+      Env.emit t.env (fun () ->
+          Probe.Vote_sent
+            {
+              view = c.Cert.view;
+              height = block.Block.height;
+              kind = "commit";
+            });
       t.env.Env.multicast (Message.Commit_vote { view = c.Cert.view; block })
     end
   end
@@ -346,6 +370,7 @@ let on_timeout t ~src view lock =
     end;
     if count >= Env.quorum t.env && not entry.tc_formed then begin
       entry.tc_formed <- true;
+      Env.emit t.env (fun () -> Probe.Tc_formed { view; signers = count });
       observe_tc t (Tc.make ~view ~high_cert:entry.high ~signers:count)
     end
   end
@@ -379,7 +404,15 @@ let handle t ~src msg =
       process_pending t
   | Message.Vote { kind; block } -> (
       match Node_core.add_vote t.core ~signer:src ~kind block with
-      | Some cert -> observe_cert t cert
+      | Some cert ->
+          Env.emit t.env (fun () ->
+              Probe.Cert_formed
+                {
+                  view = cert.Cert.view;
+                  height = cert.Cert.block.Block.height;
+                  signers = cert.Cert.signers;
+                });
+          observe_cert t cert
       | None -> ())
   | Message.Timeout { view; lock } -> on_timeout t ~src view lock
   | Message.Cert_gossip c -> observe_cert t c
@@ -418,6 +451,7 @@ module Protocol = struct
   let msg_size = Message.size
   let cpu_cost = Message.cpu_cost
   let classify = Message.classify
+  let view_of = Message.view_of
 
   type node = t
 
@@ -432,6 +466,7 @@ module Commit_protocol = struct
   let msg_size = Message.size
   let cpu_cost = Message.cpu_cost
   let classify = Message.classify
+  let view_of = Message.view_of
 
   type node = t
 
@@ -446,6 +481,7 @@ module Lso_protocol = struct
   let msg_size = Message.size
   let cpu_cost = Message.cpu_cost
   let classify = Message.classify
+  let view_of = Message.view_of
 
   type node = t
 

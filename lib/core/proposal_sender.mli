@@ -14,7 +14,8 @@ open Bft_types
 val honest_block : Message.t Env.t -> view:int -> parent:Block.t -> Block.t
 
 (** [send env ~equivocate ~view ~parent wrap] builds the block(s), reports
-    them via [env.on_propose] and disseminates [wrap block]. *)
+    them via [env.on_propose] (and, in traced runs, a
+    {!Bft_types.Probe.Proposal_sent} event) and disseminates [wrap block]. *)
 val send :
   Message.t Env.t ->
   equivocate:bool ->

@@ -96,6 +96,14 @@ and advance_to t view how =
     | Via_cert c -> t.env.Env.multicast (Message.Cert_gossip c)
     | Via_tc tc -> t.env.Env.multicast (Message.Tc_gossip tc)
     | Via_start -> ());
+    Env.emit t.env (fun () ->
+        let via =
+          match how with
+          | Via_cert _ -> `Cert
+          | Via_tc _ -> `Tc
+          | Via_start -> `Start
+        in
+        Probe.View_entered { view; via });
     t.lock <- Node_core.high_cert t.core;
     if t.lock.Cert.view < view - 1 then
       t.env.Env.send (t.env.Env.leader_of view)
@@ -146,6 +154,7 @@ and on_view_timer_expiry t =
 and local_timeout t =
   if not t.timed_out then begin
     t.timed_out <- true;
+    Env.emit t.env (fun () -> Probe.Timeout_sent { view = t.cur_view });
     t.env.Env.multicast (Message.Timeout { view = t.cur_view; lock = None })
   end
 
@@ -179,6 +188,13 @@ and try_normal_vote t block cert =
 
 and cast_vote t (block : Block.t) =
   t.voted <- true;
+  Env.emit t.env (fun () ->
+      Probe.Vote_sent
+        {
+          view = block.Block.view;
+          height = block.Block.height;
+          kind = "normal";
+        });
   t.env.Env.multicast (Message.Vote { kind = Vote_kind.Normal; block });
   let next = block.Block.view + 1 in
   if Env.is_leader t.env ~view:next then
@@ -214,6 +230,7 @@ let on_timeout t ~src view =
     if count >= Env.weak_quorum t.env && view = t.cur_view then local_timeout t;
     if count >= Env.quorum t.env && not entry.tc_formed then begin
       entry.tc_formed <- true;
+      Env.emit t.env (fun () -> Probe.Tc_formed { view; signers = count });
       observe_tc t (Tc.make ~view ~high_cert:None ~signers:count)
     end
   end
@@ -233,7 +250,15 @@ let handle t ~src msg =
       match
         Node_core.add_vote t.core ~signer:src ~kind:Vote_kind.Normal block
       with
-      | Some cert -> observe_cert t cert
+      | Some cert ->
+          Env.emit t.env (fun () ->
+              Probe.Cert_formed
+                {
+                  view = cert.Cert.view;
+                  height = cert.Cert.block.Block.height;
+                  signers = cert.Cert.signers;
+                });
+          observe_cert t cert
       | None -> ())
   | Message.Timeout { view; lock = _ } -> on_timeout t ~src view
   | Message.Cert_gossip c -> observe_cert t c
@@ -256,6 +281,7 @@ module Protocol = struct
   let msg_size = Message.size
   let cpu_cost = Message.cpu_cost
   let classify = Message.classify
+  let view_of = Message.view_of
 
   type node = t
 

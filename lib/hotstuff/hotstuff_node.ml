@@ -15,6 +15,7 @@ module Protocol = struct
   let msg_size = Jolteon.Jolteon_msg.size
   let cpu_cost = Jolteon.Jolteon_msg.cpu_cost
   let classify = Jolteon.Jolteon_msg.classify
+  let view_of = Jolteon.Jolteon_msg.view_of
 
   type node = t
 

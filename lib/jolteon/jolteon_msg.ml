@@ -47,6 +47,11 @@ let classify = function
   | Timeout _ -> `Timeout
   | Block_request _ | Blocks_response _ -> `Other
 
+let view_of = function
+  | Propose { block; _ } | Vote { block } -> Some block.Block.view
+  | Timeout { round; _ } -> Some round
+  | Block_request _ | Blocks_response _ -> None
+
 let pp ppf = function
   | Propose { block; qc; tc } ->
       Format.fprintf ppf "j-propose(%a, %a, tc=%b)" Block.pp block

@@ -35,4 +35,8 @@ val cpu_cost : t -> float
 (** Coarse class for Byzantine behaviours and trace statistics. *)
 val classify : t -> [ `Proposal | `Vote | `Timeout | `Other ]
 
+(** The round a message belongs to ([None] for synchronizer traffic); used
+    for per-view message/byte accounting in traces. *)
+val view_of : t -> int option
+
 val pp : Format.formatter -> t -> unit

@@ -78,6 +78,11 @@ let conflicting_block t ~round ~parent =
 let send_proposal t ~round ~qc ~tc =
   let parent = qc.Cert.block in
   let block = honest_block t ~round ~parent in
+  Env.emit t.env (fun () ->
+      let kind =
+        if tc = None then Probe.Normal else Probe.Fallback
+      in
+      Probe.Proposal_sent { view = round; height = block.Block.height; kind });
   t.env.Env.on_propose block;
   if not t.equivocate then
     t.env.Env.multicast (Jolteon_msg.Propose { block; qc; tc })
@@ -110,6 +115,7 @@ and send_timeout t round =
   if not (Hashtbl.mem t.timeout_sent round) then begin
     Hashtbl.replace t.timeout_sent round ();
     t.timeout_round <- max t.timeout_round round;
+    Env.emit t.env (fun () -> Probe.Timeout_sent { view = round });
     t.env.Env.multicast
       (Jolteon_msg.Timeout { round; high_qc = Node_core.high_cert t.core })
   end
@@ -132,6 +138,14 @@ and on_round_timer t =
 
 and advance_to t round how =
   if round > t.cur_round then begin
+    Env.emit t.env (fun () ->
+        let via =
+          match how with
+          | Via_qc _ -> `Cert
+          | Via_tc _ -> `Tc
+          | Via_start -> `Start
+        in
+        Probe.View_entered { view = round; via });
     t.cur_round <- round;
     arm_round_timer t;
     if Env.is_leader t.env ~view:round then begin
@@ -172,6 +186,9 @@ and try_vote t (P (block, qc, tc)) =
     && justified
   then begin
     t.last_voted_round <- round;
+    Env.emit t.env (fun () ->
+        Probe.Vote_sent
+          { view = round; height = block.Block.height; kind = "normal" });
     t.env.Env.send (t.env.Env.leader_of (round + 1)) (Jolteon_msg.Vote { block })
   end
 
@@ -211,6 +228,8 @@ let on_timeout t ~src round high_qc =
     end;
     if count >= Env.quorum t.env && not entry.tc_formed then begin
       entry.tc_formed <- true;
+      Env.emit t.env (fun () ->
+          Probe.Tc_formed { view = round; signers = count });
       observe_tc t (Tc.make ~view:round ~high_cert:(Some entry.high) ~signers:count)
     end
   end
@@ -230,7 +249,15 @@ let handle t ~src msg =
         Node_core.add_vote t.core ~signer:src ~kind:Moonshot.Vote_kind.Normal
           block
       with
-      | Some qc -> observe_qc t qc
+      | Some qc ->
+          Env.emit t.env (fun () ->
+              Probe.Cert_formed
+                {
+                  view = qc.Cert.view;
+                  height = qc.Cert.block.Block.height;
+                  signers = qc.Cert.signers;
+                });
+          observe_qc t qc
       | None -> ())
   | Jolteon_msg.Timeout { round; high_qc } -> on_timeout t ~src round high_qc
   | Jolteon_msg.Block_request { hash } ->
@@ -250,6 +277,7 @@ module Protocol = struct
   let msg_size = Jolteon_msg.size
   let cpu_cost = Jolteon_msg.cpu_cost
   let classify = Jolteon_msg.classify
+  let view_of = Jolteon_msg.view_of
 
   type node = t
 

@@ -1,0 +1,231 @@
+open Bft_types
+
+type view_row = {
+  view : int;
+  proposer : int option;
+  entered_ms : float option;
+  propose_ms : float option;
+  first_vote_ms : float option;
+  cert_ms : float option;
+  commit_ms : float option;
+  period_ms : float option;
+  timeouts : int;
+  tc_formed : bool;
+  msgs : int;
+  bytes : int;
+}
+
+type acc = {
+  mutable a_proposer : int option;
+  mutable a_entered : float option;
+  mutable a_propose : float option;
+  mutable a_vote : float option;
+  mutable a_cert : float option;
+  mutable a_commit : float option;
+  mutable a_timeouts : int;
+  mutable a_tc : bool;
+  mutable a_msgs : int;
+  mutable a_bytes : int;
+}
+
+let min_opt cur x =
+  match cur with Some y when y <= x -> cur | Some _ | None -> Some x
+
+let rows events =
+  let by_view : (int, acc) Hashtbl.t = Hashtbl.create 256 in
+  let get view =
+    match Hashtbl.find_opt by_view view with
+    | Some a -> a
+    | None ->
+        let a =
+          {
+            a_proposer = None;
+            a_entered = None;
+            a_propose = None;
+            a_vote = None;
+            a_cert = None;
+            a_commit = None;
+            a_timeouts = 0;
+            a_tc = false;
+            a_msgs = 0;
+            a_bytes = 0;
+          }
+        in
+        Hashtbl.add by_view view a;
+        a
+  in
+  List.iter
+    (fun { Trace.time; node; kind } ->
+      match kind with
+      | Trace.Node_event ev -> (
+          match ev with
+          | Probe.View_entered { view; _ } ->
+              let a = get view in
+              a.a_entered <- min_opt a.a_entered time
+          | Probe.Proposal_sent { view; _ } ->
+              let a = get view in
+              if a.a_propose = None then a.a_proposer <- Some node;
+              a.a_propose <- min_opt a.a_propose time
+          | Probe.Vote_sent { view; kind; _ } ->
+              (* Commit Moonshot's pre-commit votes are a later phase; the
+                 proposal->vote gap is about the first consensus vote. *)
+              if kind <> "commit" then begin
+                let a = get view in
+                a.a_vote <- min_opt a.a_vote time
+              end
+          | Probe.Cert_formed { view; _ } ->
+              let a = get view in
+              a.a_cert <- min_opt a.a_cert time
+          | Probe.Tc_formed { view; _ } -> (get view).a_tc <- true
+          | Probe.Timeout_sent { view } ->
+              let a = get view in
+              a.a_timeouts <- a.a_timeouts + 1
+          | Probe.Sync_request _ -> ())
+      | Trace.Delivered { view = Some view; bytes; _ } ->
+          let a = get view in
+          a.a_msgs <- a.a_msgs + 1;
+          a.a_bytes <- a.a_bytes + bytes
+      | Trace.Delivered { view = None; _ } -> ()
+      | Trace.Committed _ -> ()
+      | Trace.Quorum_commit { view; _ } ->
+          let a = get view in
+          a.a_commit <- min_opt a.a_commit time)
+    events;
+  let unsorted =
+    Hashtbl.fold
+      (fun view a rows ->
+        {
+          view;
+          proposer = a.a_proposer;
+          entered_ms = a.a_entered;
+          propose_ms = a.a_propose;
+          first_vote_ms = a.a_vote;
+          cert_ms = a.a_cert;
+          commit_ms = a.a_commit;
+          period_ms = None;
+          timeouts = a.a_timeouts;
+          tc_formed = a.a_tc;
+          msgs = a.a_msgs;
+          bytes = a.a_bytes;
+        }
+        :: rows)
+      by_view []
+  in
+  let sorted = List.sort (fun a b -> Int.compare a.view b.view) unsorted in
+  (* Block period: gap between consecutive first proposals. *)
+  let rec with_periods prev = function
+    | [] -> []
+    | row :: rest ->
+        let period_ms =
+          match (prev, row.propose_ms) with
+          | Some p, Some q -> Some (q -. p)
+          | _ -> None
+        in
+        let prev = match row.propose_ms with Some _ as p -> p | None -> prev in
+        { row with period_ms } :: with_periods prev rest
+  in
+  with_periods None sorted
+
+type dist = { samples : int; mean : float; p50 : float; p95 : float; p99 : float }
+
+let dist_of = function
+  | [] -> None
+  | xs ->
+      Some
+        {
+          samples = List.length xs;
+          mean = Bft_stats.Descriptive.mean xs;
+          p50 = Bft_stats.Descriptive.percentile 50. xs;
+          p95 = Bft_stats.Descriptive.percentile 95. xs;
+          p99 = Bft_stats.Descriptive.percentile 99. xs;
+        }
+
+type phases = {
+  propose_to_vote : dist option;
+  vote_to_cert : dist option;
+  cert_to_commit : dist option;
+  propose_to_commit : dist option;
+  block_period : dist option;
+}
+
+let deltas rows a b =
+  List.filter_map
+    (fun r -> match (a r, b r) with Some x, Some y -> Some (y -. x) | _ -> None)
+    rows
+
+let phases rows =
+  {
+    propose_to_vote =
+      dist_of (deltas rows (fun r -> r.propose_ms) (fun r -> r.first_vote_ms));
+    vote_to_cert =
+      dist_of (deltas rows (fun r -> r.first_vote_ms) (fun r -> r.cert_ms));
+    cert_to_commit =
+      dist_of (deltas rows (fun r -> r.cert_ms) (fun r -> r.commit_ms));
+    propose_to_commit =
+      dist_of (deltas rows (fun r -> r.propose_ms) (fun r -> r.commit_ms));
+    block_period = dist_of (List.filter_map (fun r -> r.period_ms) rows);
+  }
+
+let cell_opt = function
+  | None -> "-"
+  | Some x -> Printf.sprintf "%.1f" x
+
+let delta_cell a b =
+  match (a, b) with
+  | Some x, Some y -> Printf.sprintf "%.1f" (y -. x)
+  | _ -> "-"
+
+let flags r =
+  String.concat ""
+    [ (if r.timeouts > 0 then "T" else ""); (if r.tc_formed then "C" else "") ]
+
+let table rows =
+  let t =
+    Bft_stats.Table.create
+      [
+        "view"; "ldr"; "propose@"; "p->vote"; "vote->cert"; "cert->commit";
+        "total"; "period"; "msgs"; "kB"; "flags";
+      ]
+  in
+  List.iter
+    (fun r ->
+      Bft_stats.Table.add_row t
+        [
+          string_of_int r.view;
+          (match r.proposer with Some p -> string_of_int p | None -> "-");
+          cell_opt r.propose_ms;
+          delta_cell r.propose_ms r.first_vote_ms;
+          delta_cell r.first_vote_ms r.cert_ms;
+          delta_cell r.cert_ms r.commit_ms;
+          delta_cell r.propose_ms r.commit_ms;
+          cell_opt r.period_ms;
+          string_of_int r.msgs;
+          Printf.sprintf "%.1f" (float_of_int r.bytes /. 1000.);
+          flags r;
+        ])
+    rows;
+  t
+
+let phase_table p =
+  let t =
+    Bft_stats.Table.create [ "phase"; "views"; "mean ms"; "p50"; "p95"; "p99" ]
+  in
+  let row name = function
+    | None -> Bft_stats.Table.add_row t [ name; "0"; "-"; "-"; "-"; "-" ]
+    | Some d ->
+        Bft_stats.Table.add_row t
+          [
+            name;
+            string_of_int d.samples;
+            Printf.sprintf "%.1f" d.mean;
+            Printf.sprintf "%.1f" d.p50;
+            Printf.sprintf "%.1f" d.p95;
+            Printf.sprintf "%.1f" d.p99;
+          ]
+  in
+  row "proposal -> first vote" p.propose_to_vote;
+  row "first vote -> certificate" p.vote_to_cert;
+  row "certificate -> quorum commit" p.cert_to_commit;
+  row "proposal -> quorum commit" p.propose_to_commit;
+  row "block period (inter-proposal)" p.block_period;
+  t

@@ -1,0 +1,60 @@
+(** Per-view latency breakdown, computed from a {!Trace}.
+
+    The paper's claims are about where a view's milliseconds go: a block
+    period of one message delay (optimistic proposal overlapping the
+    previous view's votes) and a commit latency of three (proposal, vote,
+    certificate propagation — Figure 2).  This module folds a trace into
+    one row per view — when the first proposal went out, when the first
+    vote for it was cast, when the first node assembled its certificate,
+    when the [(2f+1)]-th node committed it — plus per-view message/byte
+    complexity, and summarizes the phase durations as percentile
+    distributions. *)
+
+(** One row per view; all times are simulated ms, [None] when the phase
+    never happened in the run (e.g. no commit for a timed-out view). *)
+type view_row = {
+  view : int;
+  proposer : int option;  (** Node that broadcast the first proposal. *)
+  entered_ms : float option;  (** First node to enter the view. *)
+  propose_ms : float option;  (** First proposal broadcast. *)
+  first_vote_ms : float option;
+      (** First consensus vote (pre-commit votes excluded). *)
+  cert_ms : float option;  (** First local certificate assembly. *)
+  commit_ms : float option;  (** Quorum ([2f+1]-th node) commit. *)
+  period_ms : float option;
+      (** Gap from the previous view's first proposal — the block period. *)
+  timeouts : int;  (** Timeout messages sent for this view. *)
+  tc_formed : bool;  (** A timeout certificate formed. *)
+  msgs : int;  (** Messages delivered that belong to this view. *)
+  bytes : int;  (** Their total wire bytes. *)
+}
+
+(** Fold a trace (see {!Trace.events}) into rows, sorted by view. *)
+val rows : Trace.event list -> view_row list
+
+(** Percentiles over per-view phase durations. *)
+type dist = {
+  samples : int;
+  mean : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+type phases = {
+  propose_to_vote : dist option;
+  vote_to_cert : dist option;
+  cert_to_commit : dist option;
+  propose_to_commit : dist option;  (** The paper's commit latency, 3δ. *)
+  block_period : dist option;  (** The paper's block period, δ. *)
+}
+
+(** [None] fields had no view with both phase endpoints observed. *)
+val phases : view_row list -> phases
+
+(** Render rows as a printable table (columns: view, leader, propose time,
+    phase deltas, period, message/byte counts, [T]imeout/T[C] flags). *)
+val table : view_row list -> Bft_stats.Table.t
+
+(** Render the phase summary (one row per phase, mean/p50/p95/p99). *)
+val phase_table : phases -> Bft_stats.Table.t

@@ -1,0 +1,147 @@
+open Bft_types
+
+type delivery_class = [ `Proposal | `Vote | `Timeout | `Other ]
+
+type kind =
+  | Node_event of Probe.event
+  | Delivered of {
+      src : int;
+      cls : delivery_class;
+      view : int option;
+      bytes : int;
+    }
+  | Committed of { view : int; height : int }
+  | Quorum_commit of { view : int; height : int }
+
+type event = { time : float; node : int; kind : kind }
+
+type t = {
+  enabled : bool;
+  mutable events : event list;  (* newest first *)
+  mutable count : int;
+}
+
+let create () = { enabled = true; events = []; count = 0 }
+let disabled () = { enabled = false; events = []; count = 0 }
+let enabled t = t.enabled
+
+let emit t ev =
+  if t.enabled then begin
+    t.events <- ev :: t.events;
+    t.count <- t.count + 1
+  end
+
+let length t = t.count
+let events t = List.rev t.events
+
+let clear t =
+  t.events <- [];
+  t.count <- 0
+
+let class_name = function
+  | `Proposal -> "proposal"
+  | `Vote -> "vote"
+  | `Timeout -> "timeout"
+  | `Other -> "other"
+
+(* Compact deterministic float: fixed six decimals, trailing zeros trimmed.
+   Identical inputs yield identical bytes, which is what the determinism
+   guarantee (same seed, byte-identical JSONL) rests on. *)
+let float_str x =
+  let s = Printf.sprintf "%.6f" x in
+  let rec trim i = if s.[i] = '0' then trim (i - 1) else i in
+  let last = trim (String.length s - 1) in
+  let last = if s.[last] = '.' then last - 1 else last in
+  String.sub s 0 (last + 1)
+
+let buf_field b ~first name value =
+  if not first then Buffer.add_char b ',';
+  Buffer.add_char b '"';
+  Buffer.add_string b name;
+  Buffer.add_string b "\":";
+  Buffer.add_string b value
+
+let buf_str_field b ~first name value =
+  buf_field b ~first name (Printf.sprintf "%S" value)
+
+let add_event_json b { time; node; kind } =
+  Buffer.add_char b '{';
+  buf_field b ~first:true "t" (float_str time);
+  buf_field b ~first:false "node" (string_of_int node);
+  (match kind with
+  | Node_event ev -> (
+      buf_str_field b ~first:false "ev" (Probe.name ev);
+      match ev with
+      | Probe.View_entered { view; via } ->
+          buf_field b ~first:false "view" (string_of_int view);
+          buf_str_field b ~first:false "via" (Probe.via_name via)
+      | Probe.Proposal_sent { view; height; kind } ->
+          buf_field b ~first:false "view" (string_of_int view);
+          buf_field b ~first:false "height" (string_of_int height);
+          buf_str_field b ~first:false "kind" (Probe.proposal_kind_name kind)
+      | Probe.Vote_sent { view; height; kind } ->
+          buf_field b ~first:false "view" (string_of_int view);
+          buf_field b ~first:false "height" (string_of_int height);
+          buf_str_field b ~first:false "kind" kind
+      | Probe.Cert_formed { view; height; signers } ->
+          buf_field b ~first:false "view" (string_of_int view);
+          buf_field b ~first:false "height" (string_of_int height);
+          buf_field b ~first:false "signers" (string_of_int signers)
+      | Probe.Tc_formed { view; signers } ->
+          buf_field b ~first:false "view" (string_of_int view);
+          buf_field b ~first:false "signers" (string_of_int signers)
+      | Probe.Timeout_sent { view } ->
+          buf_field b ~first:false "view" (string_of_int view)
+      | Probe.Sync_request { attempt } ->
+          buf_field b ~first:false "attempt" (string_of_int attempt))
+  | Delivered { src; cls; view; bytes } ->
+      buf_str_field b ~first:false "ev" "deliver";
+      buf_field b ~first:false "src" (string_of_int src);
+      buf_str_field b ~first:false "class" (class_name cls);
+      (match view with
+      | Some v -> buf_field b ~first:false "view" (string_of_int v)
+      | None -> ());
+      buf_field b ~first:false "bytes" (string_of_int bytes)
+  | Committed { view; height } ->
+      buf_str_field b ~first:false "ev" "commit";
+      buf_field b ~first:false "view" (string_of_int view);
+      buf_field b ~first:false "height" (string_of_int height)
+  | Quorum_commit { view; height } ->
+      buf_str_field b ~first:false "ev" "quorum_commit";
+      buf_field b ~first:false "view" (string_of_int view);
+      buf_field b ~first:false "height" (string_of_int height));
+  Buffer.add_char b '}'
+
+let event_to_json ev =
+  let b = Buffer.create 128 in
+  add_event_json b ev;
+  Buffer.contents b
+
+let to_jsonl t =
+  let b = Buffer.create (4096 + (t.count * 96)) in
+  List.iter
+    (fun ev ->
+      add_event_json b ev;
+      Buffer.add_char b '\n')
+    (events t);
+  Buffer.contents b
+
+let output oc t = output_string oc (to_jsonl t)
+
+let pp_event ppf { time; node; kind } =
+  match kind with
+  | Node_event ev ->
+      Format.fprintf ppf "%8.1f ms  node %d  %a" time node Probe.pp ev
+  | Delivered { src; cls; view; bytes } ->
+      Format.fprintf ppf "%8.1f ms  %d -> %d  %s%a (%dB)" time src node
+        (class_name cls)
+        (fun ppf -> function
+          | Some v -> Format.fprintf ppf " v=%d" v
+          | None -> ())
+        view bytes
+  | Committed { view; height } ->
+      Format.fprintf ppf "%8.1f ms  node %d  COMMIT v=%d h=%d" time node view
+        height
+  | Quorum_commit { view; height } ->
+      Format.fprintf ppf "%8.1f ms  node %d  QUORUM-COMMIT v=%d h=%d" time
+        node view height

@@ -17,10 +17,17 @@ let latency_model (cfg : Config.t) =
   | Config.Wan -> Bft_workload.Regions.latency_model ()
   | Config.Uniform { base; jitter } -> Bft_sim.Latency.Uniform { base; jitter }
 
-let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ())
+let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ()) ?trace
     (module P : Bft_types.Protocol_intf.S with type msg = m)
     (cfg : Config.t) =
   Config.validate cfg;
+  (* A disabled sink installs nothing: the untraced run is the benchmark
+     run, instruction for instruction. *)
+  let trace =
+    match trace with
+    | Some t when Bft_obs.Trace.enabled t -> Some t
+    | Some _ | None -> None
+  in
   let network =
     Bft_sim.Network.make
       ?bandwidth_bps:cfg.Config.bandwidth_bps
@@ -34,6 +41,32 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ())
       ~msg_size:P.msg_size ?cpu_cost ()
   in
   let metrics = Metrics.create ~n:cfg.Config.n () in
+  (match trace with
+  | None -> ()
+  | Some sink ->
+      Bft_sim.Engine.set_delivery_tap engine (fun ~time ~src ~dst msg ->
+          Bft_obs.Trace.emit sink
+            {
+              Bft_obs.Trace.time;
+              node = dst;
+              kind =
+                Bft_obs.Trace.Delivered
+                  {
+                    src;
+                    cls = P.classify msg;
+                    view = P.view_of msg;
+                    bytes = P.msg_size msg;
+                  };
+            });
+      Metrics.set_on_quorum_commit metrics (fun ~node ~time block ->
+          Bft_obs.Trace.emit sink
+            {
+              Bft_obs.Trace.time;
+              node;
+              kind =
+                Bft_obs.Trace.Quorum_commit
+                  { view = block.Block.view; height = block.Block.height };
+            }));
   let validators = Validator_set.make cfg.Config.n in
   let leader_of =
     Bft_workload.Schedules.leader_of cfg.Config.schedule ~n:cfg.Config.n
@@ -54,6 +87,17 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ())
           Payload.make ~id:view ~size_bytes:cfg.Config.payload_bytes);
       on_commit =
         (fun block ->
+          (match trace with
+          | None -> ()
+          | Some sink ->
+              Bft_obs.Trace.emit sink
+                {
+                  Bft_obs.Trace.time = Bft_sim.Engine.now engine;
+                  node = id;
+                  kind =
+                    Bft_obs.Trace.Committed
+                      { view = block.Block.view; height = block.Block.height };
+                });
           Metrics.on_commit metrics ~node:id
             ~time:(Bft_sim.Engine.now engine)
             block;
@@ -61,6 +105,18 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ())
       on_propose =
         (fun block ->
           Metrics.on_propose metrics ~time:(Bft_sim.Engine.now engine) block);
+      probe =
+        (match trace with
+        | None -> None
+        | Some sink ->
+            Some
+              (fun ev ->
+                Bft_obs.Trace.emit sink
+                  {
+                    Bft_obs.Trace.time = Bft_sim.Engine.now engine;
+                    node = id;
+                    kind = Bft_obs.Trace.Node_event ev;
+                  }));
     }
   in
   let silent id =
@@ -112,18 +168,20 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ())
         result.metrics.Metrics.avg_latency_ms result.messages_sent);
   result
 
-let run ?on_commit (cfg : Config.t) =
+let run ?on_commit ?trace (cfg : Config.t) =
   match cfg.Config.protocol with
   | Protocol_kind.Simple_moonshot ->
-      run_protocol ?on_commit (module Moonshot.Simple_node.Protocol) cfg
+      run_protocol ?on_commit ?trace (module Moonshot.Simple_node.Protocol) cfg
   | Protocol_kind.Pipelined_moonshot ->
-      run_protocol ?on_commit (module Moonshot.Pipelined_node.Protocol) cfg
+      run_protocol ?on_commit ?trace (module Moonshot.Pipelined_node.Protocol) cfg
   | Protocol_kind.Commit_moonshot ->
-      run_protocol ?on_commit (module Moonshot.Pipelined_node.Commit_protocol) cfg
+      run_protocol ?on_commit ?trace
+        (module Moonshot.Pipelined_node.Commit_protocol)
+        cfg
   | Protocol_kind.Jolteon ->
-      run_protocol ?on_commit (module Jolteon.Jolteon_node.Protocol) cfg
+      run_protocol ?on_commit ?trace (module Jolteon.Jolteon_node.Protocol) cfg
   | Protocol_kind.Hotstuff ->
-      run_protocol ?on_commit (module Hotstuff.Hotstuff_node.Protocol) cfg
+      run_protocol ?on_commit ?trace (module Hotstuff.Hotstuff_node.Protocol) cfg
 
 let run_seeds cfg ~seeds =
   List.map (fun seed -> run { cfg with Config.seed }) seeds

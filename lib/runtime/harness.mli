@@ -25,16 +25,28 @@ type run_result = {
 
 (** Run a specific protocol implementation under a configuration.
     [on_commit] observes every per-node commit in order (e.g. to drive a
-    replicated application such as {!Bft_app.Ledger}). *)
+    replicated application such as {!Bft_app.Ledger}).
+
+    [trace], when given and enabled, receives the run's full structured
+    event stream (see {!Bft_obs.Trace}): node probe events, every message
+    delivery, per-node commits and quorum commits.  Tracing observes the
+    simulation without perturbing it — the engine's RNG streams and event
+    order are identical with and without it — so a traced run commits
+    exactly the blocks its untraced twin does.  When [trace] is absent or
+    disabled no instrumentation is installed at all. *)
 val run_protocol :
   ?on_commit:(node:int -> Bft_types.Block.t -> unit) ->
+  ?trace:Bft_obs.Trace.t ->
   (module Bft_types.Protocol_intf.S with type msg = 'msg) ->
   Config.t ->
   run_result
 
 (** Dispatch on [config.protocol]. *)
 val run :
-  ?on_commit:(node:int -> Bft_types.Block.t -> unit) -> Config.t -> run_result
+  ?on_commit:(node:int -> Bft_types.Block.t -> unit) ->
+  ?trace:Bft_obs.Trace.t ->
+  Config.t ->
+  run_result
 
 (** [run_seeds config seeds] — repeat a run over several seeds (the paper
     averages three runs per configuration). *)

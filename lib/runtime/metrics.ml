@@ -14,6 +14,7 @@ type t = {
   height_first : (int, Block.t) Hashtbl.t;  (* global safety: height -> block *)
   per_node_committed : int array;
   mutable proposed : int;
+  mutable on_quorum_commit : (node:int -> time:float -> Block.t -> unit) option;
 }
 
 let create ~n () =
@@ -25,7 +26,10 @@ let create ~n () =
     height_first = Hashtbl.create 1024;
     per_node_committed = Array.make n 0;
     proposed = 0;
+    on_quorum_commit = None;
   }
+
+let set_on_quorum_commit t f = t.on_quorum_commit <- Some f
 
 let commit_quorum t = t.quorum
 
@@ -71,7 +75,12 @@ let on_commit t ~node ~time block =
     if
       Bft_crypto.Signer_set.count b.committers = t.quorum
       && b.quorum_commit_at = None
-    then b.quorum_commit_at <- Some time
+    then begin
+      b.quorum_commit_at <- Some time;
+      match t.on_quorum_commit with
+      | Some f -> f ~node ~time block
+      | None -> ()
+    end
 
 type record = {
   block : Block.t;

@@ -23,6 +23,12 @@ val commit_quorum : t -> int
 val on_propose : t -> time:float -> Block.t -> unit
 val on_commit : t -> node:int -> time:float -> Block.t -> unit
 
+(** [set_on_quorum_commit t f] installs an observer invoked exactly once per
+    block, at the moment the [(2f+1)]-th node commits it — the endpoint of
+    the paper's latency metric.  Used by the harness to stamp quorum-commit
+    events into a trace ({!Bft_obs.Trace}). *)
+val set_on_quorum_commit : t -> (node:int -> time:float -> Block.t -> unit) -> unit
+
 (** Per-block record: when it was created (first proposed) and when the
     [(2f+1)]-th node committed it ([None] if that never happened). *)
 type record = {

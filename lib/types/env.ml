@@ -10,7 +10,11 @@ type 'msg t = {
   make_payload : view:int -> Payload.t;
   on_commit : Block.t -> unit;
   on_propose : Block.t -> unit;
+  probe : (Probe.event -> unit) option;
 }
+
+let emit t ev =
+  match t.probe with None -> () | Some f -> f (ev ())
 
 let quorum t = Validator_set.quorum t.validators
 let weak_quorum t = Validator_set.weak_quorum t.validators

@@ -28,7 +28,17 @@ type 'msg t = {
   on_propose : Block.t -> unit;
       (** Invoked when this node first broadcasts a given block (used by the
           metrics collector to timestamp block creation). *)
+  probe : (Probe.event -> unit) option;
+      (** Observability hook: node-internal protocol events (vote sends,
+          certificate assembly, timeouts — see {!Probe}).  [None] outside
+          traced runs; instrumented code must not build events when unset
+          (use {!emit}). *)
 }
+
+(** [emit env ev] calls the probe with [ev ()] when one is installed; when
+    [probe = None] the thunk is never forced, so a disabled probe costs one
+    comparison (plus the thunk closure) and allocates no event. *)
+val emit : 'msg t -> (unit -> Probe.event) -> unit
 
 (** {2 Byzantine-behaviour wrappers}
 

@@ -1,0 +1,57 @@
+type proposal_kind = Optimistic | Normal | Fallback
+
+type event =
+  | View_entered of { view : int; via : [ `Cert | `Tc | `Start | `Recovery ] }
+  | Proposal_sent of { view : int; height : int; kind : proposal_kind }
+  | Vote_sent of { view : int; height : int; kind : string }
+  | Cert_formed of { view : int; height : int; signers : int }
+  | Tc_formed of { view : int; signers : int }
+  | Timeout_sent of { view : int }
+  | Sync_request of { attempt : int }
+
+let proposal_kind_name = function
+  | Optimistic -> "optimistic"
+  | Normal -> "normal"
+  | Fallback -> "fallback"
+
+let via_name = function
+  | `Cert -> "cert"
+  | `Tc -> "tc"
+  | `Start -> "start"
+  | `Recovery -> "recovery"
+
+let name = function
+  | View_entered _ -> "view_entered"
+  | Proposal_sent _ -> "propose"
+  | Vote_sent _ -> "vote_send"
+  | Cert_formed _ -> "cert_form"
+  | Tc_formed _ -> "tc_form"
+  | Timeout_sent _ -> "timeout"
+  | Sync_request _ -> "sync"
+
+let view_of = function
+  | View_entered { view; _ }
+  | Proposal_sent { view; _ }
+  | Vote_sent { view; _ }
+  | Cert_formed { view; _ }
+  | Tc_formed { view; _ }
+  | Timeout_sent { view } ->
+      Some view
+  | Sync_request _ -> None
+
+let pp ppf = function
+  | View_entered { view; via } ->
+      Format.fprintf ppf "enter view %d (via %s)" view (via_name via)
+  | Proposal_sent { view; height; kind } ->
+      Format.fprintf ppf "%s-propose v=%d h=%d" (proposal_kind_name kind) view
+        height
+  | Vote_sent { view; height; kind } ->
+      Format.fprintf ppf "%s-vote v=%d h=%d" kind view height
+  | Cert_formed { view; height; signers } ->
+      Format.fprintf ppf "cert formed v=%d h=%d (%d signers)" view height
+        signers
+  | Tc_formed { view; signers } ->
+      Format.fprintf ppf "tc formed v=%d (%d signers)" view signers
+  | Timeout_sent { view } -> Format.fprintf ppf "timeout v=%d" view
+  | Sync_request { attempt } ->
+      Format.fprintf ppf "sync request (attempt %d)" attempt

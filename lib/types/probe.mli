@@ -1,0 +1,48 @@
+(** Node-internal protocol events for the observability layer.
+
+    A protocol node reports the handful of moments that define a view's
+    latency shape — proposal broadcast, vote multicast, local certificate
+    assembly, timeouts — through the optional probe callback in its
+    {!Env.t}.  The callback is [None] in ordinary runs, so instrumented code
+    pays a single word comparison and never allocates an event; the
+    experiment harness installs a real callback only when tracing is
+    requested (see [Bft_obs.Trace]).
+
+    Events carry only small scalars (views, heights, signer counts): they
+    are emitted on hot paths and must stay cheap to build. *)
+
+type proposal_kind =
+  | Optimistic  (** Sent on voting, without a certificate (Moonshot). *)
+  | Normal  (** Justified by the previous view's certificate. *)
+  | Fallback  (** Justified by a timeout certificate. *)
+
+type event =
+  | View_entered of { view : int; via : [ `Cert | `Tc | `Start | `Recovery ] }
+      (** The node advanced to [view]; [via] is the evidence that triggered
+          the transition. *)
+  | Proposal_sent of { view : int; height : int; kind : proposal_kind }
+      (** The node broadcast a proposal for [view]. *)
+  | Vote_sent of { view : int; height : int; kind : string }
+      (** The node voted for a block of [view]; [kind] is the protocol's
+          vote-kind label (["opt"], ["normal"], ["fallback"], ["commit"]). *)
+  | Cert_formed of { view : int; height : int; signers : int }
+      (** The node's vote accumulator completed a certificate locally. *)
+  | Tc_formed of { view : int; signers : int }
+      (** The node assembled a timeout certificate for [view]. *)
+  | Timeout_sent of { view : int }
+      (** The node multicast a timeout message for [view]. *)
+  | Sync_request of { attempt : int }
+      (** The block synchronizer asked a peer for a missing ancestor. *)
+
+(** Stable snake_case tag for serialization (["propose"], ["vote_send"],
+    ["cert_form"], ...). *)
+val name : event -> string
+
+val proposal_kind_name : proposal_kind -> string
+
+val via_name : [ `Cert | `Tc | `Start | `Recovery ] -> string
+
+(** The view an event belongs to; [None] for view-less events (sync). *)
+val view_of : event -> int option
+
+val pp : Format.formatter -> event -> unit

@@ -21,6 +21,12 @@ module type S = sig
       withholding) and trace statistics. *)
   val classify : msg -> [ `Proposal | `Vote | `Timeout | `Other ]
 
+  (** The view (round) a message belongs to, when it has one — used by the
+      observability layer to attribute delivered messages and bytes to
+      per-view complexity counters.  [None] for view-less traffic such as
+      block-synchronizer requests. *)
+  val view_of : msg -> int option
+
   type node
 
   (** [create env] builds a node.  [equivocate] (default false) makes the

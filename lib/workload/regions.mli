@@ -6,9 +6,16 @@
 
 type region = Us_east_1 | Us_west_1 | Eu_north_1 | Ap_northeast_1 | Ap_southeast_2
 
+(** The five regions, in Table II order. *)
 val all : region list
+
+(** [List.length all], i.e. 5. *)
 val count : int
+
+(** The AWS region name, e.g. ["us-east-1"]. *)
 val name : region -> string
+
+(** Row/column of the region in {!table}, [0 .. count - 1]. *)
 val index : region -> int
 
 (** [latency_ms ~src ~dst] is the Table II entry, in ms. *)
@@ -26,4 +33,5 @@ val latency_model : unit -> Bft_sim.Latency.t
 (** The paper's per-node egress bandwidth: 10 Gbit/s (m5.large burst). *)
 val bandwidth_bps : float
 
+(** Print Table II as a formatted latency matrix. *)
 val print_table : Format.formatter -> unit

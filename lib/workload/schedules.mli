@@ -19,14 +19,20 @@ type t =
           remaining [n - 3f'] honest — worst case for non-reorg-resilient
           pipelined protocols. *)
 
+(** Every schedule, in the order above. *)
 val all : t list
+
+(** Canonical name: ["round-robin"], ["B"], ["WM"] or ["WJ"]. *)
 val name : t -> string
+
+(** Inverse of {!name}; [None] on unknown names. *)
 val of_name : string -> t option
 
 (** The Byzantine node ids: [n - f' .. n - 1].
     Raises [Invalid_argument] when [f' > (n - 1) / 3] or [f' < 0]. *)
 val byzantine_ids : n:int -> f':int -> int list
 
+(** [is_byzantine ~n ~f' i] — is node [i] in {!byzantine_ids}? *)
 val is_byzantine : n:int -> f':int -> int -> bool
 
 (** The length-[n] cyclic arrangement of leaders.

@@ -38,6 +38,7 @@ let create ?(precommit = false) ?(n = 4) ?(hop = 10.) ?(delta = 50.) () =
       make_payload = (fun ~view -> Payload.make ~id:view ~size_bytes:0);
       on_commit = (fun _ -> ());
       on_propose = (fun _ -> ());
+      probe = None;
     }
   in
   let wals = Array.init n (fun _ -> Moonshot.Wal.create ()) in

@@ -84,6 +84,7 @@ let create (type node)
           check_safety t b;
           t.committed.(id) <- t.committed.(id) + 1);
       on_propose = (fun _ -> ());
+      probe = None;
     }
   in
   for id = 0 to n - 1 do

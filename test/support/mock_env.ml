@@ -52,6 +52,7 @@ let create ?(n = 4) ?(delta = 100.) ?leader_of ~id () =
       make_payload = (fun ~view -> Payload.make ~id:view ~size_bytes:0);
       on_commit = (fun b -> t.committed <- b :: t.committed);
       on_propose = (fun b -> t.proposed <- b :: t.proposed);
+      probe = None;
     }
   in
   (t, env)
