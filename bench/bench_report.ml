@@ -1,0 +1,57 @@
+(* Machine-readable perf trajectory of the bench runs themselves.
+
+   Every experiment dispatched by [main.ml] is timed (wall clock) and
+   attributed the simulator events its runs processed (via the harness's
+   atomic lifetime counter, so worker-domain runs count).  [write] dumps
+   the collected entries as BENCH_simcore.json so successive PRs can diff
+   events/second and per-experiment wall-clock instead of eyeballing
+   bench output. *)
+
+type entry = { name : string; wall_s : float; events : int }
+
+let entries : entry list ref = ref []
+
+let with_experiment name f =
+  let events0 = Bft_runtime.Harness.events_processed_total () in
+  let t0 = Unix.gettimeofday () in
+  Fun.protect ~finally:(fun () ->
+      let wall_s = Unix.gettimeofday () -. t0 in
+      let events = Bft_runtime.Harness.events_processed_total () - events0 in
+      entries := { name; wall_s; events } :: !entries)
+    f
+
+let events_per_sec ~events ~wall_s =
+  if wall_s > 0. then float_of_int events /. wall_s else 0.
+
+let buffer_entry b { name; wall_s; events } =
+  Printf.bprintf b
+    "    {\"name\": %S, \"wall_clock_s\": %.3f, \"events\": %d, \
+     \"events_per_sec\": %.0f}"
+    name wall_s events (events_per_sec ~events ~wall_s)
+
+let write ~jobs ~path =
+  let recorded = List.rev !entries in
+  let wall_s = List.fold_left (fun a e -> a +. e.wall_s) 0. recorded in
+  let events = List.fold_left (fun a e -> a + e.events) 0 recorded in
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Printf.bprintf b "  \"schema\": \"bench_simcore/v1\",\n";
+  Printf.bprintf b "  \"jobs\": %d,\n" jobs;
+  Printf.bprintf b
+    "  \"total\": {\"wall_clock_s\": %.3f, \"events\": %d, \
+     \"events_per_sec\": %.0f},\n"
+    wall_s events (events_per_sec ~events ~wall_s);
+  Buffer.add_string b "  \"experiments\": [\n";
+  List.iteri
+    (fun i e ->
+      if i > 0 then Buffer.add_string b ",\n";
+      buffer_entry b e)
+    recorded;
+  Buffer.add_string b "\n  ]\n}\n";
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents b));
+  Format.printf "@.wrote %s: %d experiments, %.1f s wall, %d events \
+                 (%.0f events/s, jobs=%d)@."
+    path (List.length recorded) wall_s events
+    (events_per_sec ~events ~wall_s)
+    jobs

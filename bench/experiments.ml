@@ -11,6 +11,7 @@ open Bft_runtime
 module Schedules = Bft_workload.Schedules
 module Payload_profile = Bft_workload.Payload_profile
 module Table = Bft_stats.Table
+module Parallel = Bft_parallel.Parallel
 
 type scale = {
   ns : int list;  (** Network sizes for the happy-path grid. *)
@@ -22,6 +23,7 @@ type scale = {
   failure_f' : int;
   failure_delta : float;
   failure_duration : float;
+  jobs : int;  (** Worker domains for independent grid runs ([--jobs]). *)
 }
 
 let default_scale =
@@ -36,6 +38,7 @@ let default_scale =
     failure_f' = 13;
     failure_delta = 500.;
     failure_duration = 150_000.;
+    jobs = 1;
   }
 
 let full_scale =
@@ -47,6 +50,22 @@ let full_scale =
     failure_f' = 33;
     failure_delta = 500.;
     failure_duration = 300_000.;
+  }
+
+(* A deliberately tiny grid exercised from [dune runtest] (the [smoke]
+   target) so the bench binary and the domain pool cannot silently rot. *)
+let smoke_scale =
+  {
+    ns = [ 4; 7 ];
+    payloads = [ 0; 1_800 ];
+    saturation_payloads = [ 0; 1_800 ];
+    seeds = [ 1 ];
+    duration_of_n = (fun _ -> 3_000.);
+    failure_n = 7;
+    failure_f' = 2;
+    failure_delta = 500.;
+    failure_duration = 3_000.;
+    jobs = 2;
   }
 
 let protocols = Protocol_kind.paper
@@ -76,7 +95,10 @@ let run_cell scale protocol ~n ~payload =
   { protocol; n; payload; summary }
 
 (* The Table III / Figure 6 / Figure 7 experiments share one grid of runs;
-   compute it lazily once per process. *)
+   compute it lazily once per process.  The grid's runs are independent, so
+   they fan out over [scale.jobs] domains; [Parallel.map] returns them in
+   submission order and all printing happens on this domain, which keeps
+   the tables byte-identical whatever [jobs] is. *)
 let grid_cache : (string, cell list) Hashtbl.t = Hashtbl.create 4
 
 let happy_grid scale =
@@ -84,19 +106,28 @@ let happy_grid scale =
   match Hashtbl.find_opt grid_cache key with
   | Some cells -> cells
   | None ->
-      let cells =
+      List.iter
+        (fun n ->
+          List.iter
+            (fun payload ->
+              Format.printf "  running n=%d p=%s ...@." n
+                (Payload_profile.label payload))
+            scale.payloads)
+        scale.ns;
+      Format.print_flush ();
+      let tasks =
         List.concat_map
           (fun n ->
             List.concat_map
               (fun payload ->
-                Format.printf "  running n=%d p=%s ...@." n
-                  (Payload_profile.label payload);
-                Format.print_flush ();
-                List.map
-                  (fun protocol -> run_cell scale protocol ~n ~payload)
-                  protocols)
+                List.map (fun protocol -> (protocol, n, payload)) protocols)
               scale.payloads)
           scale.ns
+      in
+      let cells =
+        Parallel.map ~jobs:scale.jobs
+          (fun (protocol, n, payload) -> run_cell scale protocol ~n ~payload)
+          tasks
       in
       Hashtbl.replace grid_cache key cells;
       cells
@@ -117,7 +148,7 @@ let table1 () =
    every message takes exactly one hop, steady-state commit latency lands on
    the hop multiples the theory predicts — 3 for the Moonshots, 5 for
    Jolteon, 7 for chained HotStuff — and block periods on 1 vs 2 hops. *)
-let table1_empirical () =
+let table1_empirical scale =
   Format.printf "@.== Table I, empirically: latency in exact message hops ==@.@.";
   let hop = 20. in
   let t =
@@ -139,19 +170,24 @@ let table1_empirical () =
     | Protocol_kind.Jolteon | Protocol_kind.Hotstuff ->
         Moonshot.Theory.jolteon_block_period_hops
   in
+  let runs =
+    Parallel.map ~jobs:scale.jobs
+      (fun protocol ->
+        let cfg =
+          {
+            (Config.default protocol ~n:7) with
+            Config.latency = Config.Uniform { base = hop; jitter = 0. };
+            bandwidth_bps = None;
+            model_cpu = false;
+            delta_ms = 100.;
+            duration_ms = 10_000.;
+          }
+        in
+        (protocol, Harness.run cfg))
+      Protocol_kind.all
+  in
   List.iter
-    (fun protocol ->
-      let cfg =
-        {
-          (Config.default protocol ~n:7) with
-          Config.latency = Config.Uniform { base = hop; jitter = 0. };
-          bandwidth_bps = None;
-          model_cpu = false;
-          delta_ms = 100.;
-          duration_ms = 10_000.;
-        }
-      in
-      let r = Harness.run cfg in
+    (fun (protocol, r) ->
       let m = r.Harness.metrics in
       let period_hops =
         if m.Metrics.blocks_per_sec > 0. then
@@ -166,7 +202,7 @@ let table1_empirical () =
           string_of_int (theory_period protocol);
           Printf.sprintf "%.2f" period_hops;
         ])
-    Protocol_kind.all;
+    runs;
   Table.print Format.std_formatter t
 
 (* --- Table II ---------------------------------------------------------------- *)
@@ -308,20 +344,25 @@ let fig8 scale =
   let t =
     Table.create [ "protocol"; "payload"; "transfer MB/s"; "latency ms" ]
   in
+  let cells =
+    Parallel.map ~jobs:scale.jobs
+      (fun (protocol, payload) -> run_cell scale protocol ~n ~payload)
+      (List.concat_map
+         (fun protocol ->
+           List.map (fun payload -> (protocol, payload))
+             scale.saturation_payloads)
+         protocols)
+  in
   List.iter
-    (fun protocol ->
-      List.iter
-        (fun payload ->
-          let cell = run_cell scale protocol ~n ~payload in
-          Table.add_row t
-            [
-              Protocol_kind.short_name protocol;
-              Payload_profile.label payload;
-              Printf.sprintf "%.2f" (cell.summary.Harness.transfer_rate_bps /. 1e6);
-              Printf.sprintf "%.0f" cell.summary.Harness.avg_latency_ms;
-            ])
-        scale.saturation_payloads)
-    protocols;
+    (fun cell ->
+      Table.add_row t
+        [
+          Protocol_kind.short_name cell.protocol;
+          Payload_profile.label cell.payload;
+          Printf.sprintf "%.2f" (cell.summary.Harness.transfer_rate_bps /. 1e6);
+          Printf.sprintf "%.0f" cell.summary.Harness.avg_latency_ms;
+        ])
+    cells;
   Table.print Format.std_formatter t;
   Format.printf
     "@.(paper: all Moonshots reach a higher max transfer rate at lower latency@. \
@@ -337,31 +378,37 @@ let fig9 scale =
     Table.create
       [ "schedule"; "protocol"; "blocks"; "blk/s"; "latency ms" ]
   in
+  let rows =
+    Parallel.map ~jobs:scale.jobs
+      (fun (schedule, protocol) ->
+        let cfg =
+          {
+            (Config.default protocol ~n:scale.failure_n) with
+            Config.f_actual = scale.failure_f';
+            schedule;
+            delta_ms = scale.failure_delta;
+            duration_ms = scale.failure_duration;
+            payload_bytes = 0;
+          }
+        in
+        let s = Harness.summarize (Harness.run_seeds cfg ~seeds:scale.seeds) in
+        (schedule, protocol, s))
+      (List.concat_map
+         (fun schedule -> List.map (fun p -> (schedule, p)) protocols)
+         [ Schedules.Best_case; Schedules.Worst_moonshot;
+           Schedules.Worst_jolteon ])
+  in
   List.iter
-    (fun schedule ->
-      List.iter
-        (fun protocol ->
-          let cfg =
-            {
-              (Config.default protocol ~n:scale.failure_n) with
-              Config.f_actual = scale.failure_f';
-              schedule;
-              delta_ms = scale.failure_delta;
-              duration_ms = scale.failure_duration;
-              payload_bytes = 0;
-            }
-          in
-          let s = Harness.summarize (Harness.run_seeds cfg ~seeds:scale.seeds) in
-          Table.add_row t
-            [
-              Schedules.name schedule;
-              Protocol_kind.short_name protocol;
-              Printf.sprintf "%.0f" s.Harness.blocks_committed;
-              Printf.sprintf "%.2f" s.Harness.blocks_per_sec;
-              Printf.sprintf "%.0f" s.Harness.avg_latency_ms;
-            ])
-        protocols)
-    [ Schedules.Best_case; Schedules.Worst_moonshot; Schedules.Worst_jolteon ];
+    (fun (schedule, protocol, s) ->
+      Table.add_row t
+        [
+          Schedules.name schedule;
+          Protocol_kind.short_name protocol;
+          Printf.sprintf "%.0f" s.Harness.blocks_committed;
+          Printf.sprintf "%.2f" s.Harness.blocks_per_sec;
+          Printf.sprintf "%.0f" s.Harness.avg_latency_ms;
+        ])
+    rows;
   Table.print Format.std_formatter t;
   Format.printf
     "@.(paper: under WJ Jolteon collapses [~7x fewer blocks, ~50x latency vs \
@@ -379,26 +426,35 @@ let ablation_bandwidth scale =
   let t =
     Table.create [ "bandwidth"; "protocol"; "latency ms"; "blk/s" ]
   in
+  let rows =
+    Parallel.map ~jobs:scale.jobs
+      (fun ((label, bw), protocol) ->
+        let cfg =
+          {
+            (happy_config scale protocol ~n:50 ~payload) with
+            Config.bandwidth_bps = bw;
+          }
+        in
+        let s = Harness.summarize (Harness.run_seeds cfg ~seeds:scale.seeds) in
+        (label, protocol, s))
+      (List.concat_map
+         (fun bw ->
+           List.map
+             (fun p -> (bw, p))
+             [ Protocol_kind.Pipelined_moonshot; Protocol_kind.Commit_moonshot ])
+         [ ("10 Gbps", Some Bft_workload.Regions.bandwidth_bps);
+           ("infinite", None) ])
+  in
   List.iter
-    (fun (label, bw) ->
-      List.iter
-        (fun protocol ->
-          let cfg =
-            {
-              (happy_config scale protocol ~n:50 ~payload) with
-              Config.bandwidth_bps = bw;
-            }
-          in
-          let s = Harness.summarize (Harness.run_seeds cfg ~seeds:scale.seeds) in
-          Table.add_row t
-            [
-              label;
-              Protocol_kind.short_name protocol;
-              Printf.sprintf "%.0f" s.Harness.avg_latency_ms;
-              Printf.sprintf "%.2f" s.Harness.blocks_per_sec;
-            ])
-        [ Protocol_kind.Pipelined_moonshot; Protocol_kind.Commit_moonshot ])
-    [ ("10 Gbps", Some Bft_workload.Regions.bandwidth_bps); ("infinite", None) ];
+    (fun (label, protocol, s) ->
+      Table.add_row t
+        [
+          label;
+          Protocol_kind.short_name protocol;
+          Printf.sprintf "%.0f" s.Harness.avg_latency_ms;
+          Printf.sprintf "%.2f" s.Harness.blocks_per_sec;
+        ])
+    rows;
   Table.print Format.std_formatter t;
   Format.printf
     "@.(with infinite bandwidth beta = rho and CM's edge over PM disappears)@."
@@ -416,19 +472,29 @@ let fairness scale =
   let t =
     Table.create [ "protocol"; "schedule"; "min share"; "max share"; "honest proposers" ]
   in
+  let rows =
+    Parallel.map ~jobs:scale.jobs
+      (fun (protocol, schedule) ->
+        let cfg =
+          {
+            (Config.default protocol ~n) with
+            Config.f_actual = f';
+            schedule;
+            duration_ms = scale.failure_duration;
+            delta_ms = scale.failure_delta;
+          }
+        in
+        let r = Harness.run cfg in
+        (protocol, schedule, Metrics.chain_quality r.Harness.metrics))
+      [
+        (Protocol_kind.Commit_moonshot, Schedules.Round_robin);
+        (Protocol_kind.Commit_moonshot, Schedules.Worst_jolteon);
+        (Protocol_kind.Jolteon, Schedules.Round_robin);
+        (Protocol_kind.Jolteon, Schedules.Worst_jolteon);
+      ]
+  in
   List.iter
-    (fun (protocol, schedule) ->
-      let cfg =
-        {
-          (Config.default protocol ~n) with
-          Config.f_actual = f';
-          schedule;
-          duration_ms = scale.failure_duration;
-          delta_ms = scale.failure_delta;
-        }
-      in
-      let r = Harness.run cfg in
-      let quality = Metrics.chain_quality r.Harness.metrics in
+    (fun (protocol, schedule, quality) ->
       let honest = List.filter (fun (p, _) -> p < n - f') quality in
       let total =
         float_of_int (List.fold_left (fun a (_, c) -> a + c) 0 honest)
@@ -442,12 +508,7 @@ let fairness scale =
           Printf.sprintf "%.1f%%" (100. *. Bft_stats.Descriptive.max shares);
           string_of_int (List.length honest);
         ])
-    [
-      (Protocol_kind.Commit_moonshot, Schedules.Round_robin);
-      (Protocol_kind.Commit_moonshot, Schedules.Worst_jolteon);
-      (Protocol_kind.Jolteon, Schedules.Round_robin);
-      (Protocol_kind.Jolteon, Schedules.Worst_jolteon);
-    ];
+    rows;
   Table.print Format.std_formatter t;
   Format.printf
     "@.(reorg resilience keeps every honest proposer's share near 1/honest;@.      Jolteon under WJ starves the proposers scheduled before Byzantine@.      aggregators)@."
@@ -467,26 +528,31 @@ let ablation_lso scale =
       duration_ms = 60_000.;
     }
   in
+  let rows =
+    Parallel.map ~jobs:scale.jobs
+      (fun (label, (module P : Bft_types.Protocol_intf.S
+                      with type msg = Moonshot.Message.t)) ->
+        let summaries =
+          List.map
+            (fun seed ->
+              Harness.run_protocol (module P) { cfg with Config.seed })
+            scale.seeds
+        in
+        (label, Harness.summarize summaries))
+      [
+        ("LCO (paper)", (module Moonshot.Pipelined_node.Protocol));
+        ("LSO", (module Moonshot.Pipelined_node.Lso_protocol));
+      ]
+  in
   List.iter
-    (fun (label, (module P : Bft_types.Protocol_intf.S
-                    with type msg = Moonshot.Message.t)) ->
-      let summaries =
-        List.map
-          (fun seed ->
-            Harness.run_protocol (module P) { cfg with Config.seed })
-          scale.seeds
-      in
-      let s = Harness.summarize summaries in
+    (fun (label, s) ->
       Table.add_row t
         [
           label;
           Printf.sprintf "%.0f" s.Harness.blocks_committed;
           Printf.sprintf "%.0f" s.Harness.avg_latency_ms;
         ])
-    [
-      ("LCO (paper)", (module Moonshot.Pipelined_node.Protocol));
-      ("LSO", (module Moonshot.Pipelined_node.Lso_protocol));
-    ];
+    rows;
   Table.print Format.std_formatter t;
   Format.printf
     "@.(an equivocating proposer each cycle makes optimistic proposals fail;@.      the LCO leader corrects itself with a normal proposal, the LSO leader@.      cannot, losing its view as well)@."
@@ -497,10 +563,15 @@ let ablation_lso scale =
 let ablation_block_period scale =
   Format.printf "@.== Ablation: block period (optimistic proposal) ==@.@.";
   let t = Table.create [ "protocol"; "blocks/s"; "period ms (approx)" ] in
+  let rows =
+    Parallel.map ~jobs:scale.jobs
+      (fun protocol ->
+        let cfg = happy_config scale protocol ~n:50 ~payload:0 in
+        (protocol, Harness.summarize (Harness.run_seeds cfg ~seeds:scale.seeds)))
+      protocols
+  in
   List.iter
-    (fun protocol ->
-      let cfg = happy_config scale protocol ~n:50 ~payload:0 in
-      let s = Harness.summarize (Harness.run_seeds cfg ~seeds:scale.seeds) in
+    (fun (protocol, s) ->
       Table.add_row t
         [
           Protocol_kind.short_name protocol;
@@ -509,6 +580,6 @@ let ablation_block_period scale =
              Printf.sprintf "%.0f" (1000. /. s.Harness.blocks_per_sec)
            else "-");
         ])
-    protocols;
+    rows;
   Table.print Format.std_formatter t;
   Format.printf "@.(Moonshot periods sit near one WAN hop; Jolteon near two)@."

@@ -1,60 +1,108 @@
 (* Benchmark harness reproducing every table and figure of the paper's
    evaluation.
 
-     dune exec bench/main.exe                 # everything, scaled down
-     dune exec bench/main.exe -- table3       # one experiment
-     dune exec bench/main.exe -- fig9 --full  # paper-scale parameters
+     dune exec bench/main.exe                     # everything, scaled down
+     dune exec bench/main.exe -- table3           # one experiment
+     dune exec bench/main.exe -- fig9 --full      # paper-scale parameters
+     dune exec bench/main.exe -- all --jobs 4     # grid runs on 4 domains
+     dune exec bench/main.exe -- smoke            # tiny grid, CI tripwire
 
-   Experiments: table1 table2 table3 fig6 fig7 fig8 fig9 ablations micro all *)
+   Experiments: table1 table2 table3 fig6 fig7 fig8 fig9 fairness ablations
+   micro smoke all
+
+   [--jobs N] fans independent grid runs out over N domains; the printed
+   tables are byte-identical whatever N is (results are collected in
+   submission order, printing stays on the main domain).  Every invocation
+   also writes BENCH_simcore.json — per-experiment wall-clock and simulator
+   events/second — so perf changes leave a machine-readable trail. *)
 
 let usage () =
   print_endline
-    "usage: main.exe [table1|table2|table3|fig6|fig7|fig8|fig9|fairness|ablations|micro|all] [--full]";
+    "usage: main.exe \
+     [table1|table2|table3|fig6|fig7|fig8|fig9|fairness|ablations|micro|smoke|all] \
+     [--full] [--jobs N]";
   exit 1
 
+let parse_args args =
+  let full = ref false in
+  let jobs = ref None in
+  let targets = ref [] in
+  let set_jobs s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> jobs := Some n
+    | Some _ | None -> usage ()
+  in
+  let rec go = function
+    | [] -> ()
+    | "--full" :: rest ->
+        full := true;
+        go rest
+    | "--jobs" :: n :: rest ->
+        set_jobs n;
+        go rest
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+        set_jobs (String.sub arg 7 (String.length arg - 7));
+        go rest
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' -> usage ()
+    | target :: rest ->
+        targets := target :: !targets;
+        go rest
+  in
+  go args;
+  let targets = match List.rev !targets with [] -> [ "all" ] | ts -> ts in
+  (!full, !jobs, targets)
+
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let full = List.mem "--full" args in
-  let targets =
-    match List.filter (fun a -> a <> "--full") args with
-    | [] -> [ "all" ]
-    | ts -> ts
-  in
+  let full, jobs_flag, targets = parse_args (List.tl (Array.to_list Sys.argv)) in
+  let jobs = Option.value jobs_flag ~default:1 in
   let scale =
-    if full then Experiments.full_scale else Experiments.default_scale
+    let base =
+      if full then Experiments.full_scale else Experiments.default_scale
+    in
+    { base with Experiments.jobs }
   in
-  let dispatch = function
-    | "table1" ->
-        Experiments.table1 ();
-        Experiments.table1_empirical ()
-    | "table2" -> Experiments.table2 ()
-    | "table3" -> Experiments.table3 scale
-    | "fig6" -> Experiments.fig6 scale
-    | "fig7" -> Experiments.fig7 scale
-    | "fig8" -> Experiments.fig8 scale
-    | "fig9" -> Experiments.fig9 scale
-    | "fairness" -> Experiments.fairness scale
-    | "ablations" ->
-        Experiments.ablation_bandwidth scale;
-        Experiments.ablation_block_period scale;
-        Experiments.ablation_lso scale
-    | "micro" -> Micro.run ()
-    | "all" ->
-        Experiments.table1 ();
-        Experiments.table1_empirical ();
-        Experiments.table2 ();
-        Experiments.table3 scale;
-        Experiments.fig6 scale;
-        Experiments.fig7 scale;
-        Experiments.fig8 scale;
-        Experiments.fig9 scale;
-        Experiments.fairness scale;
-        Experiments.ablation_bandwidth scale;
-        Experiments.ablation_block_period scale;
-        Experiments.ablation_lso scale;
-        Micro.run ()
-    | other ->
-        Format.printf "unknown experiment %S@." other;
-        usage ()
+  let dispatch target =
+    Bench_report.with_experiment target (fun () ->
+        match target with
+        | "table1" ->
+            Experiments.table1 ();
+            Experiments.table1_empirical scale
+        | "table2" -> Experiments.table2 ()
+        | "table3" -> Experiments.table3 scale
+        | "fig6" -> Experiments.fig6 scale
+        | "fig7" -> Experiments.fig7 scale
+        | "fig8" -> Experiments.fig8 scale
+        | "fig9" -> Experiments.fig9 scale
+        | "fairness" -> Experiments.fairness scale
+        | "ablations" ->
+            Experiments.ablation_bandwidth scale;
+            Experiments.ablation_block_period scale;
+            Experiments.ablation_lso scale
+        | "micro" -> Micro.run ()
+        | "smoke" ->
+            (* Tiny grid on 2 domains (unless --jobs overrides), exercised
+               from [dune runtest]: keeps the bench binary, the experiment
+               driver and the domain pool from rotting without paying for a
+               real evaluation run. *)
+            let scale =
+              match jobs_flag with
+              | None -> Experiments.smoke_scale
+              | Some jobs -> { Experiments.smoke_scale with Experiments.jobs }
+            in
+            Experiments.table3 scale;
+            Experiments.fig9 scale
+        | other ->
+            Format.printf "unknown experiment %S@." other;
+            usage ())
   in
-  List.iter dispatch targets
+  let expanded =
+    List.concat_map
+      (function
+        | "all" ->
+            [ "table1"; "table2"; "table3"; "fig6"; "fig7"; "fig8"; "fig9";
+              "fairness"; "ablations"; "micro" ]
+        | t -> [ t ])
+      targets
+  in
+  List.iter dispatch expanded;
+  Bench_report.write ~jobs ~path:"BENCH_simcore.json"

@@ -65,6 +65,39 @@ let test_signer_set =
            ignore (Bft_crypto.Signer_set.add s i)
          done))
 
+let test_signer_set_to_list =
+  Test.make ~name:"signer-set to_list (n=200, q=134)"
+    (Staged.stage
+       (let s = Bft_crypto.Signer_set.create ~n:200 in
+        for i = 0 to 133 do
+          ignore (Bft_crypto.Signer_set.add s i)
+        done;
+        fun () -> ignore (Bft_crypto.Signer_set.to_list s)))
+
+(* The engine's real hot path: one multicast fans out to n - 1 network
+   sends plus a self delivery, and draining the queue processes them all.
+   This prices the whole send -> queue -> dispatch pipeline, not just
+   queue churn. *)
+let test_engine_multicast =
+  Test.make ~name:"engine multicast+drain n=200"
+    (Staged.stage
+       (let net =
+          Bft_sim.Network.make
+            ~latency:(Bft_sim.Latency.Uniform { base = 10.; jitter = 0. })
+            ~delta:50. ()
+        in
+        let e =
+          Bft_sim.Engine.create ~n:200 ~network:net ~seed:1
+            ~msg_size:(fun (_ : int) -> 100)
+            ()
+        in
+        for i = 0 to 199 do
+          Bft_sim.Engine.set_handler e i (fun ~src:_ _ -> ())
+        done;
+        fun () ->
+          Bft_sim.Engine.multicast e ~src:0 7;
+          Bft_sim.Engine.run e ~until:(Bft_sim.Engine.now e +. 1000.)))
+
 let trace_event i =
   {
     Bft_obs.Trace.time = float_of_int i;
@@ -97,8 +130,8 @@ let test_probe_disabled =
 let tests =
   [
     test_block_create; test_vote_aggregation; test_event_queue;
-    test_store_ancestry; test_signer_set; test_trace_emit;
-    test_probe_disabled;
+    test_engine_multicast; test_store_ancestry; test_signer_set;
+    test_signer_set_to_list; test_trace_emit; test_probe_disabled;
   ]
 
 let run () =

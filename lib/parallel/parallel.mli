@@ -1,0 +1,23 @@
+(** A fixed-size domain pool for embarrassingly parallel experiment grids.
+
+    The experiment driver's unit of work is one simulator run — seconds of
+    CPU, no shared state — so the pool is deliberately simple: [jobs]
+    domains pull task indices from an atomic counter and write results into
+    a slot array.  Results always come back in submission order, which is
+    what makes a parallel sweep print byte-identical tables to a sequential
+    one; tasks must not print or touch shared mutable state themselves.
+
+    OCaml exceptions do not cross domains on their own: a raising task
+    records its exception (with backtrace), the pool drains the remaining
+    work, and the exception of the {e lowest-indexed} failing task is
+    re-raised on the calling domain — deterministic regardless of how the
+    domains interleaved. *)
+
+(** [map ~jobs f tasks] is [List.map f tasks] computed on [min jobs
+    (length tasks)] domains (the caller's domain is one of them).
+    [jobs <= 1] degrades to plain [List.map] with no domain spawned. *)
+val map : jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+(** Domains this machine can usefully run
+    ({!Domain.recommended_domain_count}). *)
+val cpu_count : unit -> int

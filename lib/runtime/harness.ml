@@ -12,6 +12,10 @@ type run_result = {
   config : Config.t;
 }
 
+(* Lifetime event counter, atomic so runs on worker domains count too. *)
+let total_events = Atomic.make 0
+let events_processed_total () = Atomic.get total_events
+
 let latency_model (cfg : Config.t) =
   match cfg.Config.latency with
   | Config.Wan -> Bft_workload.Regions.latency_model ()
@@ -153,6 +157,9 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ()) ?trace
   List.iter P.start nodes;
   Bft_sim.Engine.run engine ~until:cfg.Config.duration_ms;
   let stats = Bft_sim.Engine.stats engine in
+  ignore
+    (Atomic.fetch_and_add total_events stats.Bft_sim.Engine.events_processed
+      : int);
   let result =
     {
       metrics = Metrics.finish metrics ~duration_ms:cfg.Config.duration_ms;

@@ -52,6 +52,13 @@ val run :
     averages three runs per configuration). *)
 val run_seeds : Config.t -> seeds:int list -> run_result list
 
+(** Simulator events processed by every run this process has completed,
+    summed across domains (the counter is atomic, so domain-parallel
+    sweeps — {!Bft_parallel.Parallel}-driven benches — account correctly).
+    The bench harness reads it before and after an experiment to report
+    events/second alongside wall-clock. *)
+val events_processed_total : unit -> int
+
 (** Averages across repeated runs. *)
 type summary = {
   blocks_committed : float;

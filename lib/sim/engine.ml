@@ -4,10 +4,26 @@ type stats = {
   mutable bytes_sent : float;
 }
 
+(* Message traffic — the O(n^2)-per-view hot path — is scheduled as flat
+   constructors carrying (src, dst, msg), so a send allocates one small
+   block instead of capturing a closure.  Timers and one-off scheduled
+   actions are inherently code, so those arms keep a closure. *)
+type 'msg event =
+  | Deliver of int * int * 'msg
+      (** Hand [msg] from [src] to [dst]'s handler (CPU queue already paid,
+          or not modelled). *)
+  | Process of int * int * 'msg
+      (** Network arrival of [msg] at [dst]: run it through [dst]'s serial
+          CPU queue, then deliver. *)
+  | Timer of timer
+  | Thunk of (unit -> unit)
+
+and timer = { mutable cancelled : bool; action : unit -> unit }
+
 type 'msg t = {
   n : int;
   network : Network.t;
-  queue : (unit -> unit) Event_queue.t;
+  queue : 'msg event Event_queue.t;
   handlers : (src:int -> 'msg -> unit) array;
   node_rngs : Rng.t array;
   net_rng : Rng.t;
@@ -16,8 +32,13 @@ type 'msg t = {
   msg_size : 'msg -> int;
   cpu_cost : ('msg -> float) option;
   mutable clock : float;
+  (* The filter and tap default to no-ops; the [_installed] flags let the
+     per-message path skip the indirect call entirely in the common
+     uninstrumented, unpartitioned run. *)
   mutable filter : src:int -> dst:int -> now:float -> bool;
+  mutable filter_installed : bool;
   mutable tap : time:float -> src:int -> dst:int -> 'msg -> unit;
+  mutable tap_installed : bool;
   stats : stats;
 }
 
@@ -37,19 +58,27 @@ let create ~n ~network ~seed ~msg_size ?cpu_cost () =
     cpu_cost;
     clock = 0.;
     filter = (fun ~src:_ ~dst:_ ~now:_ -> true);
+    filter_installed = false;
     tap = (fun ~time:_ ~src:_ ~dst:_ _ -> ());
+    tap_installed = false;
     stats = { events_processed = 0; messages_sent = 0; bytes_sent = 0. };
   }
 
 let set_handler t i h = t.handlers.(i) <- h
-let set_link_filter t f = t.filter <- f
-let set_delivery_tap t f = t.tap <- f
+
+let set_link_filter t f =
+  t.filter <- f;
+  t.filter_installed <- true
+
+let set_delivery_tap t f =
+  t.tap <- f;
+  t.tap_installed <- true
 let now t = t.clock
 let n t = t.n
 let node_rng t i = t.node_rngs.(i)
 
 let deliver t ~src ~dst msg =
-  t.tap ~time:t.clock ~src ~dst msg;
+  if t.tap_installed then t.tap ~time:t.clock ~src ~dst msg;
   t.handlers.(dst) ~src msg
 
 (* Run the message through [dst]'s serial CPU queue before handing it to the
@@ -62,61 +91,78 @@ let process t ~src ~dst msg =
       let finish = start +. cost msg in
       t.cpu_free.(dst) <- finish;
       if finish <= t.clock then deliver t ~src ~dst msg
-      else Event_queue.push t.queue ~time:finish (fun () -> deliver t ~src ~dst msg)
+      else Event_queue.push t.queue ~time:finish (Deliver (src, dst, msg))
+
+(* One network send with the byte size already computed and accounted. *)
+let send_sized t ~src ~dst ~size msg =
+  if dst = src then
+    (* Local hand-off: no serialization, no propagation, no CPU charge. *)
+    Event_queue.push t.queue ~time:t.clock (Deliver (src, dst, msg))
+  else if (not t.filter_installed) || t.filter ~src ~dst ~now:t.clock then begin
+    let arrival =
+      Network.delivery_into t.network t.net_rng ~now:t.clock
+        ~egress:t.egress_free ~src ~dst ~size
+    in
+    Event_queue.push t.queue ~time:arrival (Process (src, dst, msg));
+    let dup = t.network.Network.duplicate_prob in
+    if dup > 0. && Rng.float t.net_rng 1. < dup then begin
+      (* Network-level duplication: the copy trails the original slightly. *)
+      let lag = Rng.float t.net_rng (0.5 *. t.network.Network.delta) in
+      Event_queue.push t.queue ~time:(arrival +. lag) (Process (src, dst, msg))
+    end
+  end
 
 let send t ~src ~dst msg =
   let size = t.msg_size msg in
   t.stats.messages_sent <- t.stats.messages_sent + 1;
   t.stats.bytes_sent <- t.stats.bytes_sent +. float_of_int size;
-  if dst = src then
-    (* Local hand-off: no serialization, no propagation. *)
-    Event_queue.push t.queue ~time:t.clock (fun () -> deliver t ~src ~dst msg)
-  else if t.filter ~src ~dst ~now:t.clock then begin
-    let egress_end, arrival =
-      Network.delivery t.network t.net_rng ~now:t.clock
-        ~egress_free:t.egress_free.(src) ~src ~dst ~size
-    in
-    t.egress_free.(src) <- egress_end;
-    Event_queue.push t.queue ~time:arrival (fun () -> process t ~src ~dst msg);
-    let dup = t.network.Network.duplicate_prob in
-    if dup > 0. && Rng.float t.net_rng 1. < dup then begin
-      (* Network-level duplication: the copy trails the original slightly. *)
-      let lag = Rng.float t.net_rng (0.5 *. t.network.Network.delta) in
-      Event_queue.push t.queue ~time:(arrival +. lag) (fun () ->
-          process t ~src ~dst msg)
-    end
-  end
+  send_sized t ~src ~dst ~size msg
 
 let multicast t ~src msg =
-  send t ~src ~dst:src msg;
+  (* The wire size is per-message, not per-destination: compute it and the
+     traffic accounting once for the whole fan-out. *)
+  let size = t.msg_size msg in
+  t.stats.messages_sent <- t.stats.messages_sent + t.n;
+  t.stats.bytes_sent <- t.stats.bytes_sent +. float_of_int (size * t.n);
+  send_sized t ~src ~dst:src ~size msg;
   for dst = 0 to t.n - 1 do
-    if dst <> src then send t ~src ~dst msg
+    if dst <> src then send_sized t ~src ~dst ~size msg
   done
 
 let set_timer t delay f =
   if delay < 0. then invalid_arg "Engine.set_timer: negative delay";
-  let cancelled = ref false in
-  Event_queue.push t.queue ~time:(t.clock +. delay) (fun () ->
-      if not !cancelled then f ());
-  fun () -> cancelled := true
+  let tm = { cancelled = false; action = f } in
+  Event_queue.push t.queue ~time:(t.clock +. delay) (Timer tm);
+  fun () -> tm.cancelled <- true
 
 let schedule_at t time f =
   if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
-  Event_queue.push t.queue ~time f
+  Event_queue.push t.queue ~time (Thunk f)
+
+let exec t = function
+  | Deliver (src, dst, msg) -> deliver t ~src ~dst msg
+  | Process (src, dst, msg) -> process t ~src ~dst msg
+  | Timer tm -> if not tm.cancelled then tm.action ()
+  | Thunk f -> f ()
 
 let run t ~until =
   let rec loop () =
-    match Event_queue.peek_time t.queue with
-    | None -> ()
-    | Some time when time > until -> t.clock <- until
-    | Some _ ->
-        (match Event_queue.pop t.queue with
-        | None -> ()
-        | Some (time, f) ->
-            t.clock <- time;
-            t.stats.events_processed <- t.stats.events_processed + 1;
-            f ());
+    if Event_queue.is_empty t.queue then
+      (* The run nominally reaches [until] even when no event is left:
+         leaving the clock at the last event's time would make a
+         subsequent [now] or [set_timer] act in the past. *)
+      t.clock <- Float.max t.clock until
+    else begin
+      let time = Event_queue.min_time t.queue in
+      if time > until then t.clock <- until
+      else begin
+        let ev = Event_queue.take t.queue in
+        t.clock <- time;
+        t.stats.events_processed <- t.stats.events_processed + 1;
+        exec t ev;
         loop ()
+      end
+    end
   in
   loop ()
 

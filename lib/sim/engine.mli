@@ -66,7 +66,10 @@ val set_timer : 'msg t -> float -> (unit -> unit) -> unit -> unit
 (** [schedule_at t time f] runs [f] at absolute [time] (>= now). *)
 val schedule_at : 'msg t -> float -> (unit -> unit) -> unit
 
-(** Run until the event queue drains or simulated [until] is passed. *)
+(** Run until the event queue drains or simulated [until] is passed.  In
+    both cases the clock ends at [until] (never earlier): the run nominally
+    covered that span, so subsequent [now] / [set_timer] calls act at the
+    horizon, not at the last event's time. *)
 val run : 'msg t -> until:float -> unit
 
 val stats : 'msg t -> stats

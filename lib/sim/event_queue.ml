@@ -1,70 +1,160 @@
-(* Array-backed binary min-heap keyed by (time, sequence number).  The
-   sequence number breaks ties so same-time events are FIFO. *)
+(* Struct-of-arrays binary min-heap keyed by (time, sequence number).  The
+   sequence number breaks ties so same-time events are FIFO.
 
-type 'a cell = { time : float; seq : int; value : 'a }
+   Times live in an unboxed [float array] and sequence numbers in an
+   [int array], so the heap's comparisons and swaps touch flat memory and a
+   push allocates nothing once capacity is reached — no per-event cell
+   record, no [option] boxing.  The value array is created lazily on the
+   first push (there is no "dummy" value to fill it with before that).
+
+   Both sifts move a "hole": the displaced element sits in locals while
+   ancestors/descendants shift one slot each and is written back exactly
+   once — half the memory traffic of swap-based sifting, which matters with
+   the element spread over three arrays.  Indices are bounded by [t.size],
+   which never exceeds any array's capacity, so the sift accesses are
+   unchecked.  (A 4-ary layout was measured and lost to the binary one at
+   simulation-typical queue sizes.)
+
+   Popped slots are not cleared: the element moved into the root is the
+   same one the vacated slot still references, so at most one value (the
+   last element popped from a fully drained queue) is kept alive until the
+   next push overwrites it. *)
 
 type 'a t = {
-  mutable heap : 'a cell option array;
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable values : 'a array;  (* [||] until the first push. *)
   mutable size : int;
   mutable next_seq : int;
 }
 
-let create () = { heap = Array.make 64 None; size = 0; next_seq = 0 }
+let initial_capacity = 64
 
-let cell_at t i =
-  match t.heap.(i) with
-  | Some c -> c
-  | None -> assert false
-
-let lt a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+let create () =
+  {
+    times = Array.make initial_capacity 0.;
+    seqs = Array.make initial_capacity 0;
+    values = [||];
+    size = 0;
+    next_seq = 0;
+  }
 
 let grow t =
-  let bigger = Array.make (2 * Array.length t.heap) None in
-  Array.blit t.heap 0 bigger 0 t.size;
-  t.heap <- bigger
+  let cap = 2 * Array.length t.times in
+  let times = Array.make cap 0. in
+  Array.blit t.times 0 times 0 t.size;
+  t.times <- times;
+  let seqs = Array.make cap 0 in
+  Array.blit t.seqs 0 seqs 0 t.size;
+  t.seqs <- seqs;
+  (* Only reachable with [t.size > 0], so a fill value exists. *)
+  let values = Array.make cap t.values.(0) in
+  Array.blit t.values 0 values 0 t.size;
+  t.values <- values
 
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if lt (cell_at t i) (cell_at t parent) then begin
-      let tmp = t.heap.(i) in
-      t.heap.(i) <- t.heap.(parent);
-      t.heap.(parent) <- tmp;
-      sift_up t parent
+let sift_up t i0 =
+  let times = t.times and seqs = t.seqs and values = t.values in
+  let time = Array.unsafe_get times i0 in
+  let seq = Array.unsafe_get seqs i0 in
+  let v = Array.unsafe_get values i0 in
+  let i = ref i0 in
+  let moving = ref true in
+  while !moving && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let pt = Array.unsafe_get times parent in
+    if time < pt || (time = pt && seq < Array.unsafe_get seqs parent) then begin
+      Array.unsafe_set times !i pt;
+      Array.unsafe_set seqs !i (Array.unsafe_get seqs parent);
+      Array.unsafe_set values !i (Array.unsafe_get values parent);
+      i := parent
     end
-  end
+    else moving := false
+  done;
+  Array.unsafe_set times !i time;
+  Array.unsafe_set seqs !i seq;
+  Array.unsafe_set values !i v
 
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && lt (cell_at t l) (cell_at t !smallest) then smallest := l;
-  if r < t.size && lt (cell_at t r) (cell_at t !smallest) then smallest := r;
-  if !smallest <> i then begin
-    let tmp = t.heap.(i) in
-    t.heap.(i) <- t.heap.(!smallest);
-    t.heap.(!smallest) <- tmp;
-    sift_down t !smallest
-  end
+let sift_down t i0 =
+  let times = t.times and seqs = t.seqs and values = t.values in
+  let size = t.size in
+  let time = Array.unsafe_get times i0 in
+  let seq = Array.unsafe_get seqs i0 in
+  let v = Array.unsafe_get values i0 in
+  let i = ref i0 in
+  let moving = ref true in
+  while !moving do
+    let l = (2 * !i) + 1 in
+    if l >= size then moving := false
+    else begin
+      (* Earlier of the two children, FIFO on ties. *)
+      let c =
+        let r = l + 1 in
+        if r < size then begin
+          let lt = Array.unsafe_get times l and rt = Array.unsafe_get times r in
+          if
+            rt < lt
+            || (rt = lt && Array.unsafe_get seqs r < Array.unsafe_get seqs l)
+          then r
+          else l
+        end
+        else l
+      in
+      let ct = Array.unsafe_get times c in
+      if ct < time || (ct = time && Array.unsafe_get seqs c < seq) then begin
+        Array.unsafe_set times !i ct;
+        Array.unsafe_set seqs !i (Array.unsafe_get seqs c);
+        Array.unsafe_set values !i (Array.unsafe_get values c);
+        i := c
+      end
+      else moving := false
+    end
+  done;
+  Array.unsafe_set times !i time;
+  Array.unsafe_set seqs !i seq;
+  Array.unsafe_set values !i v
 
 let push t ~time value =
   if not (Float.is_finite time) then invalid_arg "Event_queue.push: bad time";
-  if t.size = Array.length t.heap then grow t;
-  t.heap.(t.size) <- Some { time; seq = t.next_seq; value };
+  if t.size = Array.length t.times then grow t;
+  if Array.length t.values = 0 then
+    t.values <- Array.make (Array.length t.times) value;
+  let i = t.size in
+  (* [i] is below capacity after the grow check. *)
+  Array.unsafe_set t.times i time;
+  Array.unsafe_set t.seqs i t.next_seq;
+  Array.unsafe_set t.values i value;
   t.next_seq <- t.next_seq + 1;
-  t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  t.size <- i + 1;
+  sift_up t i
+
+let is_empty t = t.size = 0
+let size t = t.size
+
+let min_time t =
+  if t.size = 0 then invalid_arg "Event_queue.min_time: empty";
+  Array.unsafe_get t.times 0
+
+(* Precondition: [t.size > 0]. *)
+let unguarded_take t =
+  let value = Array.unsafe_get t.values 0 in
+  let last = t.size - 1 in
+  t.size <- last;
+  if last > 0 then begin
+    Array.unsafe_set t.times 0 (Array.unsafe_get t.times last);
+    Array.unsafe_set t.seqs 0 (Array.unsafe_get t.seqs last);
+    Array.unsafe_set t.values 0 (Array.unsafe_get t.values last);
+    sift_down t 0
+  end;
+  value
+
+let take t =
+  if t.size = 0 then invalid_arg "Event_queue.take: empty";
+  unguarded_take t
 
 let pop t =
   if t.size = 0 then None
-  else begin
-    let top = cell_at t 0 in
-    t.size <- t.size - 1;
-    t.heap.(0) <- t.heap.(t.size);
-    t.heap.(t.size) <- None;
-    if t.size > 0 then sift_down t 0;
-    Some (top.time, top.value)
-  end
+  else
+    let time = Array.unsafe_get t.times 0 in
+    Some (time, unguarded_take t)
 
-let peek_time t = if t.size = 0 then None else Some (cell_at t 0).time
-let is_empty t = t.size = 0
-let size t = t.size
+let peek_time t = if t.size = 0 then None else Some (Array.unsafe_get t.times 0)

@@ -14,6 +14,16 @@ val push : 'a t -> time:float -> 'a -> unit
 (** Earliest event, or [None] when empty. *)
 val pop : 'a t -> (float * 'a) option
 
+(** Time of the earliest event.  Raises [Invalid_argument] when empty.
+    Together with {!take} this is the engine's allocation-free drain path
+    ({!pop} boxes a [Some] and a tuple per event). *)
+val min_time : 'a t -> float
+
+(** Pop the earliest event, returning only its value.  Raises
+    [Invalid_argument] when empty; read {!min_time} first if the
+    timestamp is needed. *)
+val take : 'a t -> 'a
+
 val peek_time : 'a t -> float option
 val is_empty : 'a t -> bool
 val size : 'a t -> int

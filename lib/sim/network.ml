@@ -23,6 +23,23 @@ let serialization_ms t ~size =
   | None -> 0.
   | Some bps -> float_of_int size *. 8. /. bps *. 1000.
 
+(* The simulator's per-message path.  [egress.(src)] is read and written in
+   place (unboxed float-array traffic) and only the arrival time crosses the
+   call boundary, so a send costs two float boxes instead of the five a
+   tupled return would. *)
+let delivery_into t rng ~now ~egress ~src ~dst ~size =
+  let start = Float.max now (Array.unsafe_get egress src) in
+  let egress_end = start +. serialization_ms t ~size in
+  Array.unsafe_set egress src egress_end;
+  let propagation = Latency.sample t.latency rng ~src ~dst in
+  let base = egress_end +. propagation in
+  if start >= t.gst || t.pre_gst_extra = 0. then base
+  else
+    (* Adversarial extra delay, but the partially synchronous model still
+       requires delivery within Delta of max(send time, GST). *)
+    let delayed = base +. Rng.float rng t.pre_gst_extra in
+    Float.min delayed (Float.max base (t.gst +. t.delta))
+
 let delivery t rng ~now ~egress_free ~src ~dst ~size =
   let start = Float.max now egress_free in
   let egress_end = start +. serialization_ms t ~size in
@@ -31,9 +48,8 @@ let delivery t rng ~now ~egress_free ~src ~dst ~size =
   let arrival =
     if start >= t.gst || t.pre_gst_extra = 0. then base
     else
-      (* Adversarial extra delay, but the partially synchronous model still
-         requires delivery within Delta of max(send time, GST). *)
       let delayed = base +. Rng.float rng t.pre_gst_extra in
       Float.min delayed (Float.max base (t.gst +. t.delta))
   in
   (egress_end, arrival)
+

@@ -56,3 +56,17 @@ val delivery :
   dst:int ->
   size:int ->
   float * float
+
+(** Same model as {!delivery}, shaped for the engine's per-message hot
+    path: reads and updates [egress.(src)] (the per-node egress-busy-until
+    array) in place and returns only the arrival time, so nothing but two
+    floats is boxed per call. *)
+val delivery_into :
+  t ->
+  Rng.t ->
+  now:float ->
+  egress:float array ->
+  src:int ->
+  dst:int ->
+  size:int ->
+  float

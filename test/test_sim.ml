@@ -51,6 +51,60 @@ let test_queue_rejects_nan () =
   Alcotest.check_raises "nan time" (Invalid_argument "Event_queue.push: bad time")
     (fun () -> Event_queue.push q ~time:Float.nan ())
 
+let test_queue_take () =
+  let q = Event_queue.create () in
+  Event_queue.push q ~time:2. "b";
+  Event_queue.push q ~time:1. "a";
+  check_float "min_time is earliest" 1. (Event_queue.min_time q);
+  check "take returns value only" true (Event_queue.take q = "a");
+  check_float "min_time advances" 2. (Event_queue.min_time q);
+  check "take drains" true (Event_queue.take q = "b");
+  Alcotest.check_raises "take on empty" (Invalid_argument "Event_queue.take: empty")
+    (fun () -> ignore (Event_queue.take q : string))
+
+(* Random push/pop interleavings against a reference model: a sorted
+   association list keyed (time, push sequence number).  Catches any heap
+   restructuring that loses the FIFO tie-break or global time order. *)
+let prop_queue_matches_model =
+  let gen =
+    QCheck.(
+      list (pair (oneofl [ 0.; 1.; 1.; 2.; 5.; 5.; 9. ]) bool)
+      (* times drawn from a small set so ties are common; the bool picks
+         push vs pop *))
+  in
+  QCheck.Test.make ~name:"event queue matches reference model" ~count:300 gen
+    (fun ops ->
+      let q = Event_queue.create () in
+      let model = ref [] (* sorted by (time, seq) ascending *) in
+      let next = ref 0 in
+      let insert time v =
+        let rec go = function
+          | [] -> [ (time, v) ]
+          | ((t, _) as hd) :: tl when t <= time -> hd :: go tl
+          | rest -> (time, v) :: rest
+        in
+        model := go !model
+      in
+      List.for_all
+        (fun (time, is_push) ->
+          if is_push then begin
+            let v = !next in
+            incr next;
+            Event_queue.push q ~time v;
+            insert time v;
+            Event_queue.size q = List.length !model
+            && Event_queue.min_time q = fst (List.hd !model)
+          end
+          else
+            match (Event_queue.pop q, !model) with
+            | None, [] -> true
+            | Some (t, v), (t', v') :: rest ->
+                model := rest;
+                t = t' && v = v'
+            | Some _, [] | None, _ :: _ -> false)
+        ops
+      && Event_queue.size q = List.length !model)
+
 (* --- RNG ------------------------------------------------------------------------ *)
 
 let test_rng_deterministic () =
@@ -230,6 +284,19 @@ let test_engine_until_stops () =
   check "event beyond horizon not run" true (not !fired);
   check_float "clock advanced to horizon" 100. (Engine.now e)
 
+let test_engine_drained_queue_advances_clock () =
+  (* Regression: when the queue empties before [until], the clock used to be
+     left at the last event's time, so a later [set_timer] would fire early. *)
+  let e = make_engine () in
+  Engine.set_handler e 1 (fun ~src:_ _ -> ());
+  Engine.send e ~src:0 ~dst:1 "only event";
+  Engine.run e ~until:100.;
+  check_float "clock is the horizon, not the last event" 100. (Engine.now e);
+  let at = ref (-1.) in
+  let (_c : unit -> unit) = Engine.set_timer e 5. (fun () -> at := Engine.now e) in
+  Engine.run e ~until:200.;
+  check_float "timer set after a drained run is horizon-relative" 105. !at
+
 let test_engine_deterministic () =
   let run_once () =
     let e = make_engine () in
@@ -352,6 +419,8 @@ let () =
           Alcotest.test_case "interleaved" `Quick test_queue_interleaved;
           Alcotest.test_case "growth" `Quick test_queue_grows;
           Alcotest.test_case "rejects nan" `Quick test_queue_rejects_nan;
+          Alcotest.test_case "min_time/take" `Quick test_queue_take;
+          QCheck_alcotest.to_alcotest prop_queue_matches_model;
         ] );
       ( "rng",
         [
@@ -383,6 +452,8 @@ let () =
             test_engine_self_delivery_immediate;
           Alcotest.test_case "timers + cancel" `Quick test_engine_timer_and_cancel;
           Alcotest.test_case "horizon" `Quick test_engine_until_stops;
+          Alcotest.test_case "drained queue advances clock" `Quick
+            test_engine_drained_queue_advances_clock;
           Alcotest.test_case "deterministic" `Quick test_engine_deterministic;
           Alcotest.test_case "link filter" `Quick test_engine_link_filter;
           Alcotest.test_case "stats" `Quick test_engine_stats;
