@@ -19,7 +19,7 @@
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|table2|table3|fig6|fig7|fig8|fig9|fairness|ablations|micro|smoke|all] \
+     [table1|table2|table3|fig6|fig7|fig8|fig9|fairness|chaos|ablations|micro|smoke|all] \
      [--full] [--jobs N]";
   exit 1
 
@@ -74,6 +74,7 @@ let () =
         | "fig8" -> Experiments.fig8 scale
         | "fig9" -> Experiments.fig9 scale
         | "fairness" -> Experiments.fairness scale
+        | "chaos" -> Experiments.chaos scale
         | "ablations" ->
             Experiments.ablation_bandwidth scale;
             Experiments.ablation_block_period scale;
@@ -90,7 +91,10 @@ let () =
               | Some jobs -> { Experiments.smoke_scale with Experiments.jobs }
             in
             Experiments.table3 scale;
-            Experiments.fig9 scale
+            Experiments.fig9 scale;
+            (* Sub-second chaos smoke: a randomized fault schedule through
+               the real harness, fault interpreter and liveness monitor. *)
+            Experiments.chaos scale
         | other ->
             Format.printf "unknown experiment %S@." other;
             usage ())
@@ -100,7 +104,7 @@ let () =
       (function
         | "all" ->
             [ "table1"; "table2"; "table3"; "fig6"; "fig7"; "fig8"; "fig9";
-              "fairness"; "ablations"; "micro" ]
+              "fairness"; "chaos"; "ablations"; "micro" ]
         | t -> [ t ])
       targets
   in

@@ -454,8 +454,13 @@ module Protocol = struct
   let view_of = Message.view_of
 
   type node = t
+  type wal = Wal.t
 
-  let create ?(equivocate = false) env = create ~precommit:false ~equivocate env
+  let wal_create = Wal.create
+
+  let create ?(equivocate = false) ?wal env =
+    create ~precommit:false ~equivocate ?wal env
+
   let start = start
   let handle = handle
 end
@@ -469,8 +474,13 @@ module Commit_protocol = struct
   let view_of = Message.view_of
 
   type node = t
+  type wal = Wal.t
 
-  let create ?(equivocate = false) env = create ~precommit:true ~equivocate env
+  let wal_create = Wal.create
+
+  let create ?(equivocate = false) ?wal env =
+    create ~precommit:true ~equivocate ?wal env
+
   let start = start
   let handle = handle
 end
@@ -484,8 +494,11 @@ module Lso_protocol = struct
   let view_of = Message.view_of
 
   type node = t
+  type wal = Wal.t
 
-  let create ?(equivocate = false) env = create ~lso:true ~equivocate env
+  let wal_create = Wal.create
+
+  let create ?(equivocate = false) ?wal env = create ~lso:true ~equivocate ?wal env
   let start = start
   let handle = handle
 end

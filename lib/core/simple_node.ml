@@ -7,17 +7,19 @@ type tmo_entry = {
 
 type pending = P_opt of Block.t | P_normal of Block.t * Cert.t
 
-type how_entered = Via_cert of Cert.t | Via_tc of Tc.t | Via_start
+type how_entered = Via_cert of Cert.t | Via_tc of Tc.t | Via_start | Via_recovery
 
 type t = {
   core : Message.t Node_core.t;
   env : Message.t Env.t;
   mutable sync : Message.t Sync.t option;
+  wal : Wal.t option;
   equivocate : bool;
   timeout_aggs : (int, tmo_entry) Hashtbl.t;
   tcs : (int, Tc.t) Hashtbl.t;
   pending : (int, pending list) Hashtbl.t;
   mutable cur_view : int;
+  mutable entered_via : how_entered;
   mutable lock : Cert.t;
   mutable voted : bool;  (* in cur_view *)
   mutable timed_out : bool;  (* of cur_view: stop voting *)
@@ -29,17 +31,19 @@ type t = {
 let view_timer_multiplier = 5.
 let propose_wait_multiplier = 2.
 
-let create ?(equivocate = false) env =
+let create ?(equivocate = false) ?wal env =
   let t =
   {
     core = Node_core.create env;
     env;
     sync = None;
+    wal;
     equivocate;
     timeout_aggs = Hashtbl.create 16;
     tcs = Hashtbl.create 16;
     pending = Hashtbl.create 16;
     cur_view = 0;
+    entered_via = Via_start;
     lock = Cert.genesis;
     voted = false;
     timed_out = false;
@@ -56,6 +60,23 @@ let create ?(equivocate = false) env =
   t
 
 let sync t = Option.get t.sync
+
+(* Persist the safety-critical state; called BEFORE the message that makes
+   it binding is sent, as a durable WAL would be.  Simple Moonshot has a
+   single vote slot per view and a boolean timeout flag, mapped onto the
+   shared WAL state record. *)
+let persist t =
+  match t.wal with
+  | None -> ()
+  | Some wal ->
+      Wal.record wal
+        {
+          Wal.cur_view = t.cur_view;
+          lock = t.lock;
+          timeout_view = (if t.timed_out then t.cur_view else 0);
+          voted_opt = None;
+          voted_main = t.voted;
+        }
 
 let current_view t = t.cur_view
 let lock t = t.lock
@@ -95,13 +116,14 @@ and advance_to t view how =
     (match how with
     | Via_cert c -> t.env.Env.multicast (Message.Cert_gossip c)
     | Via_tc tc -> t.env.Env.multicast (Message.Tc_gossip tc)
-    | Via_start -> ());
+    | Via_start | Via_recovery -> ());
     Env.emit t.env (fun () ->
         let via =
           match how with
           | Via_cert _ -> `Cert
           | Via_tc _ -> `Tc
           | Via_start -> `Start
+          | Via_recovery -> `Recovery
         in
         Probe.View_entered { view; via });
     t.lock <- Node_core.high_cert t.core;
@@ -109,12 +131,17 @@ and advance_to t view how =
       t.env.Env.send (t.env.Env.leader_of view)
         (Message.Status { view; lock = t.lock });
     t.cur_view <- view;
+    t.entered_via <- how;
     t.voted <- false;
     t.timed_out <- false;
     t.proposed <- false;
+    persist t;
     t.cancel_propose_timer ();
     arm_view_timer t;
-    if Env.is_leader t.env ~view then begin
+    (* A recovered leader may have proposed before the crash; proposing
+       again would be honest-node equivocation, so it stays silent and the
+       view either proceeds on the earlier proposal or times out. *)
+    if Env.is_leader t.env ~view && how <> Via_recovery then begin
       let high = Node_core.high_cert t.core in
       if high.Cert.view = view - 1 then propose_with_cert t high
       else
@@ -144,18 +171,34 @@ and arm_view_timer t =
       (view_timer_multiplier *. t.env.Env.delta)
       (fun () -> on_view_timer_expiry t)
 
-(* Rebroadcast while stuck, so view changes survive message loss. *)
+(* Rebroadcast while stuck, so view changes survive message loss.  The
+   repeat broadcast re-multicasts the evidence that justified entering the
+   current view: after a partition in which no side had a quorum, one side
+   may have advanced on an in-flight certificate or TC the other never saw,
+   and without re-gossip the two sides would rebroadcast timeouts for
+   different views at each other forever — neither view ever gathering a
+   quorum. *)
 and on_view_timer_expiry t =
-  if t.timed_out then
-    t.env.Env.multicast (Message.Timeout { view = t.cur_view; lock = None })
+  if t.timed_out then begin
+    t.env.Env.multicast
+      (Message.Timeout { view = t.cur_view; lock = Some t.lock });
+    match t.entered_via with
+    | Via_cert c -> t.env.Env.multicast (Message.Cert_gossip c)
+    | Via_tc tc -> t.env.Env.multicast (Message.Tc_gossip tc)
+    | Via_start | Via_recovery -> ()
+  end
   else local_timeout t;
   arm_view_timer t
 
 and local_timeout t =
   if not t.timed_out then begin
     t.timed_out <- true;
+    persist t;
     Env.emit t.env (fun () -> Probe.Timeout_sent { view = t.cur_view });
-    t.env.Env.multicast (Message.Timeout { view = t.cur_view; lock = None })
+    (* The timeout carries the sender's lock so that lagging nodes learn
+       the certificate that let the rest of the network advance. *)
+    t.env.Env.multicast
+      (Message.Timeout { view = t.cur_view; lock = Some t.lock })
   end
 
 and process_pending t =
@@ -188,6 +231,7 @@ and try_normal_vote t block cert =
 
 and cast_vote t (block : Block.t) =
   t.voted <- true;
+  persist t;
   Env.emit t.env (fun () ->
       Probe.Vote_sent
         {
@@ -260,7 +304,9 @@ let handle t ~src msg =
                 });
           observe_cert t cert
       | None -> ())
-  | Message.Timeout { view; lock = _ } -> on_timeout t ~src view
+  | Message.Timeout { view; lock } ->
+      (match lock with Some c -> observe_cert t c | None -> ());
+      on_timeout t ~src view
   | Message.Cert_gossip c -> observe_cert t c
   | Message.Tc_gossip tc -> observe_tc t tc
   | Message.Status { lock; _ } -> observe_cert t lock
@@ -273,7 +319,20 @@ let handle t ~src msg =
   handle t ~src msg;
   Sync.poke (sync t)
 
-let start t = advance_to t 1 Via_start
+let start t =
+  match Option.map Wal.load t.wal with
+  | Some (Some saved) ->
+      (* Crash recovery: resume from the recorded view with the recorded
+         lock and vote slot; the block synchronizer refills the store. *)
+      ignore (Node_core.record_cert t.core saved.Wal.lock);
+      advance_to t saved.Wal.cur_view Via_recovery;
+      t.lock <- saved.Wal.lock;
+      t.voted <- saved.Wal.voted_main;
+      t.timed_out <- saved.Wal.timeout_view >= saved.Wal.cur_view;
+      (* Re-persist: a second crash must still see the restored vote slot
+         (advance_to recorded the cleared one). *)
+      persist t
+  | Some None | None -> advance_to t 1 Via_start
 
 module Protocol = struct
   type msg = Message.t
@@ -284,8 +343,10 @@ module Protocol = struct
   let view_of = Message.view_of
 
   type node = t
+  type wal = Wal.t
 
-  let create ?(equivocate = false) env = create ~equivocate env
+  let wal_create = Wal.create
+  let create ?(equivocate = false) ?wal env = create ~equivocate ?wal env
   let start = start
   let handle = handle
 end

@@ -10,7 +10,11 @@ open Bft_types
 
 type t
 
-val create : ?equivocate:bool -> Message.t Env.t -> t
+(** With [?wal], the node records its safety-critical state (view, lock,
+    vote slot, timeout flag) before every binding action, and {!start}
+    resumes from it when it already holds a record — crash recovery, see
+    {!Wal}. *)
+val create : ?equivocate:bool -> ?wal:Wal.t -> Message.t Env.t -> t
 val start : t -> unit
 val handle : t -> src:int -> Message.t -> unit
 

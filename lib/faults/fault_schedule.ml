@@ -1,0 +1,289 @@
+type event =
+  | Crash of { node : int; at : float }
+  | Recover of { node : int; at : float }
+  | Partition of { groups : int list list; from_ : float; until : float }
+  | Link_loss of { prob : float; from_ : float; until : float }
+  | Delay_spike of { extra_ms : float; from_ : float; until : float }
+
+type t = event list
+
+let empty = []
+let is_empty t = t = []
+
+let time_of = function
+  | Crash { at; _ } | Recover { at; _ } -> at
+  | Partition { from_; _ } | Link_loss { from_; _ } | Delay_spike { from_; _ }
+    ->
+      from_
+
+let sorted t =
+  List.stable_sort (fun a b -> Float.compare (time_of a) (time_of b)) t
+
+let heal_times t =
+  List.filter_map
+    (function
+      | Crash _ -> None
+      | Recover { at; _ } -> Some at
+      | Partition { until; _ }
+      | Link_loss { until; _ }
+      | Delay_spike { until; _ } ->
+          Some until)
+    t
+
+(* Sweep the crash/recover timeline.  [validate] has already checked the
+   per-node alternation, so a plain +1/-1 walk over the sorted events is
+   exact; recoveries sort before crashes at equal times to keep the count
+   conservative-but-tight (validate forbids equal-time pairs per node). *)
+let max_concurrent_crashed t =
+  let deltas =
+    List.filter_map
+      (function
+        | Crash { at; _ } -> Some (at, 1)
+        | Recover { at; _ } -> Some (at, -1)
+        | _ -> None)
+      t
+  in
+  let deltas =
+    List.stable_sort
+      (fun (ta, da) (tb, db) ->
+        match Float.compare ta tb with 0 -> compare da db | c -> c)
+      deltas
+  in
+  let _, peak =
+    List.fold_left
+      (fun (cur, peak) (_, d) ->
+        let cur = cur + d in
+        (cur, max peak cur))
+      (0, 0) deltas
+  in
+  peak
+
+let crash_count t =
+  List.length (List.filter (function Crash _ -> true | _ -> false) t)
+
+let fail fmt = Format.kasprintf invalid_arg ("Fault_schedule.validate: " ^^ fmt)
+
+let check_window ~what ~from_ ~until =
+  if from_ < 0. then fail "%s window starts before t=0" what;
+  if until <= from_ then fail "%s window is empty or reversed" what
+
+let validate ~n ~f ~byzantine t =
+  let check_node what node =
+    if node < 0 || node >= n then fail "%s targets node %d (n = %d)" what node n
+  in
+  List.iter
+    (fun ev ->
+      match ev with
+      | Crash { node; at } ->
+          check_node "crash" node;
+          if at < 0. then fail "crash of node %d at negative time" node;
+          if List.mem node byzantine then
+            fail "node %d is Byzantine; it cannot also crash" node
+      | Recover { node; at } ->
+          check_node "recover" node;
+          if at < 0. then fail "recover of node %d at negative time" node
+      | Partition { groups; from_; until } ->
+          check_window ~what:"partition" ~from_ ~until;
+          let members = List.concat groups in
+          List.iter (check_node "partition") members;
+          if
+            List.length members
+            <> List.length (List.sort_uniq compare members)
+          then fail "partition groups overlap"
+      | Link_loss { prob; from_; until } ->
+          check_window ~what:"loss" ~from_ ~until;
+          if prob < 0. || prob > 1. then fail "loss probability outside [0, 1]"
+      | Delay_spike { extra_ms; from_; until } ->
+          check_window ~what:"delay" ~from_ ~until;
+          if extra_ms < 0. then fail "negative delay spike")
+    t;
+  (* Per-node crash/recover alternation: strictly interleaved, crash first,
+     strictly increasing times. *)
+  for node = 0 to n - 1 do
+    let mine =
+      List.filter_map
+        (function
+          | Crash { node = i; at } when i = node -> Some (at, `Crash)
+          | Recover { node = i; at } when i = node -> Some (at, `Recover)
+          | _ -> None)
+        (sorted t)
+    in
+    ignore
+      (List.fold_left
+         (fun (prev_time, expect) (at, kind) ->
+           if at <= prev_time then
+             fail "node %d: crash/recover times must strictly increase" node;
+           (match (expect, kind) with
+           | `Crash, `Recover ->
+               fail "node %d recovers without a preceding crash" node
+           | `Recover, `Crash -> fail "node %d crashes while already down" node
+           | _ -> ());
+           (at, match kind with `Crash -> `Recover | `Recover -> `Crash))
+         (neg_infinity, `Crash) mine)
+  done;
+  let concurrent = max_concurrent_crashed t + List.length byzantine in
+  if concurrent > f then
+    fail "%d simultaneous crashed+Byzantine nodes exceeds f = %d" concurrent f
+
+(* Random schedules for the chaos grid.  All disruptions are healed by
+   [0.6 * duration], leaving a 0.4-duration tail for the liveness bound to
+   be checked in. *)
+let random ~rng ~n ~f ~duration ~delta =
+  let horizon = 0.6 *. duration in
+  let events = ref [] in
+  let add e = events := e :: !events in
+  (* Crash/recover cycles: distinct victims, each down for a random slice
+     of the first half of the run. *)
+  let crashes = if f <= 0 then 0 else Bft_sim.Rng.int rng (f + 1) in
+  let victims = ref [] in
+  let rec pick_victim () =
+    let v = Bft_sim.Rng.int rng n in
+    if List.mem v !victims then pick_victim ()
+    else begin
+      victims := v :: !victims;
+      v
+    end
+  in
+  for _ = 1 to crashes do
+    let node = pick_victim () in
+    let at = (0.05 +. Bft_sim.Rng.float rng 0.3) *. duration in
+    let back = at +. ((0.05 +. Bft_sim.Rng.float rng 0.2) *. duration) in
+    add (Crash { node; at });
+    add (Recover { node; at = Float.min back (horizon -. 1.) })
+  done;
+  let window () =
+    let from_ = (0.1 +. Bft_sim.Rng.float rng 0.25) *. duration in
+    let until = from_ +. ((0.05 +. Bft_sim.Rng.float rng 0.2) *. duration) in
+    (from_, Float.min until horizon)
+  in
+  if Bft_sim.Rng.int rng 2 = 0 then begin
+    (* A two-way split drawn by coin flip per node. *)
+    let side = Array.init n (fun _ -> Bft_sim.Rng.int rng 2) in
+    let group k =
+      List.filter (fun i -> side.(i) = k) (List.init n (fun i -> i))
+    in
+    let from_, until = window () in
+    add (Partition { groups = [ group 0; group 1 ]; from_; until })
+  end;
+  if Bft_sim.Rng.int rng 2 = 0 then begin
+    let from_, until = window () in
+    add (Link_loss { prob = 0.05 +. Bft_sim.Rng.float rng 0.25; from_; until })
+  end;
+  if Bft_sim.Rng.int rng 2 = 0 then begin
+    let from_, until = window () in
+    add
+      (Delay_spike
+         { extra_ms = (0.5 +. Bft_sim.Rng.float rng 1.5) *. delta; from_; until })
+  end;
+  sorted !events
+
+let demo ~n ~leader ~crash_at ~partition_at ~heal_at ~recover_at =
+  let survivors = List.filter (fun i -> i <> leader) (List.init n (fun i -> i)) in
+  let rec split k = function
+    | [] -> ([], [])
+    | x :: rest ->
+        let a, b = split (k - 1) rest in
+        if k > 0 then (x :: a, b) else (a, x :: b)
+  in
+  let g0, g1 = split (List.length survivors / 2) survivors in
+  [
+    Crash { node = leader; at = crash_at };
+    Partition { groups = [ g0; g1 ]; from_ = partition_at; until = heal_at };
+    Recover { node = leader; at = recover_at };
+  ]
+
+(* Textual syntax.  [%g] round-trips every time we generate ourselves and
+   keeps schedules greppable in configs and logs. *)
+
+let string_of_event = function
+  | Crash { node; at } -> Printf.sprintf "crash@%g:%d" at node
+  | Recover { node; at } -> Printf.sprintf "recover@%g:%d" at node
+  | Partition { groups; from_; until } ->
+      let group g = String.concat "," (List.map string_of_int g) in
+      Printf.sprintf "partition@%g-%g:%s" from_ until
+        (String.concat "/" (List.map group groups))
+  | Link_loss { prob; from_; until } ->
+      Printf.sprintf "loss@%g-%g:%g" from_ until prob
+  | Delay_spike { extra_ms; from_; until } ->
+      Printf.sprintf "delay@%g-%g:%g" from_ until extra_ms
+
+let to_string t = String.concat ";" (List.map string_of_event t)
+
+let parse_event s =
+  let invalid () = Error (Printf.sprintf "bad fault event %S" s) in
+  match String.index_opt s '@' with
+  | None -> invalid ()
+  | Some i -> (
+      let kind = String.sub s 0 i in
+      let rest = String.sub s (i + 1) (String.length s - i - 1) in
+      match String.index_opt rest ':' with
+      | None -> invalid ()
+      | Some j -> (
+          let times = String.sub rest 0 j in
+          let arg = String.sub rest (j + 1) (String.length rest - j - 1) in
+          let parse_window () =
+            match String.index_opt times '-' with
+            | None -> None
+            | Some k ->
+                let a = String.sub times 0 k in
+                let b = String.sub times (k + 1) (String.length times - k - 1) in
+                Option.bind (float_of_string_opt a) (fun from_ ->
+                    Option.bind (float_of_string_opt b) (fun until ->
+                        if until <= from_ then None else Some (from_, until)))
+          in
+          match kind with
+          | "crash" | "recover" -> (
+              match (float_of_string_opt times, int_of_string_opt arg) with
+              | Some at, Some node ->
+                  if kind = "crash" then Ok (Crash { node; at })
+                  else Ok (Recover { node; at })
+              | _ -> invalid ())
+          | "partition" -> (
+              match parse_window () with
+              | None -> invalid ()
+              | Some (from_, until) -> (
+                  let parse_group g =
+                    let members =
+                      List.filter (fun m -> m <> "")
+                        (String.split_on_char ',' g)
+                    in
+                    let ids = List.filter_map int_of_string_opt members in
+                    if List.length ids = List.length members then Some ids
+                    else None
+                  in
+                  let groups =
+                    List.filter_map parse_group (String.split_on_char '/' arg)
+                  in
+                  match groups with
+                  | _ :: _ :: _
+                    when List.length groups
+                         = List.length (String.split_on_char '/' arg) ->
+                      Ok (Partition { groups; from_; until })
+                  | _ -> invalid ()))
+          | "loss" | "delay" -> (
+              match (parse_window (), float_of_string_opt arg) with
+              | Some (from_, until), Some v ->
+                  if kind = "loss" then
+                    if v < 0. || v > 1. then
+                      Error
+                        (Printf.sprintf
+                           "fault event %S: loss probability outside [0, 1]" s)
+                    else Ok (Link_loss { prob = v; from_; until })
+                  else Ok (Delay_spike { extra_ms = v; from_; until })
+              | _ -> invalid ())
+          | _ -> invalid ()))
+
+let of_string s =
+  let parts =
+    List.filter (fun p -> String.trim p <> "") (String.split_on_char ';' s)
+  in
+  List.fold_left
+    (fun acc part ->
+      Result.bind acc (fun evs ->
+          Result.map (fun ev -> ev :: evs) (parse_event (String.trim part))))
+    (Ok []) parts
+  |> Result.map List.rev
+
+let pp ppf t =
+  Fmt.pf ppf "@[<v>%a@]" (Fmt.list ~sep:Fmt.cut Fmt.string)
+    (List.map string_of_event t)

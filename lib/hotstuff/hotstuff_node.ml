@@ -2,8 +2,8 @@ open Bft_types
 
 type t = Jolteon.Jolteon_node.t
 
-let create ?equivocate (env : Jolteon.Jolteon_msg.t Env.t) =
-  Jolteon.Jolteon_node.create ?equivocate ~commit_depth:3 env
+let create ?equivocate ?wal (env : Jolteon.Jolteon_msg.t Env.t) =
+  Jolteon.Jolteon_node.create ?equivocate ~commit_depth:3 ?wal env
 
 let start = Jolteon.Jolteon_node.start
 let handle = Jolteon.Jolteon_node.handle
@@ -18,8 +18,10 @@ module Protocol = struct
   let view_of = Jolteon.Jolteon_msg.view_of
 
   type node = t
+  type wal = Moonshot.Wal.t
 
-  let create ?(equivocate = false) env = create ~equivocate env
+  let wal_create = Moonshot.Wal.create
+  let create ?(equivocate = false) ?wal env = create ~equivocate ?wal env
   let start = start
   let handle = handle
 end

@@ -12,7 +12,8 @@ open Bft_types
 
 type t = Jolteon.Jolteon_node.t
 
-val create : ?equivocate:bool -> Jolteon.Jolteon_msg.t Env.t -> t
+val create :
+  ?equivocate:bool -> ?wal:Moonshot.Wal.t -> Jolteon.Jolteon_msg.t Env.t -> t
 val start : t -> unit
 val handle : t -> src:int -> Jolteon.Jolteon_msg.t -> unit
 val committed : t -> int

@@ -2,6 +2,7 @@ open Bft_types
 module Cert = Moonshot.Cert
 module Tc = Moonshot.Tc
 module Node_core = Moonshot.Node_core
+module Wal = Moonshot.Wal
 
 type tmo_entry = {
   signers : Bft_crypto.Signer_set.t;
@@ -12,12 +13,13 @@ type tmo_entry = {
 
 type pending = P of Block.t * Cert.t * Tc.t option
 
-type how_entered = Via_qc of Cert.t | Via_tc of Tc.t | Via_start
+type how_entered = Via_qc of Cert.t | Via_tc of Tc.t | Via_start | Via_recovery
 
 type t = {
   core : Jolteon_msg.t Node_core.t;
   env : Jolteon_msg.t Env.t;
   mutable sync : Jolteon_msg.t Moonshot.Sync.t option;
+  wal : Wal.t option;
   equivocate : bool;
   commit_depth : int;
   timeout_aggs : (int, tmo_entry) Hashtbl.t;
@@ -32,13 +34,14 @@ type t = {
 
 let round_timer_multiplier = 4.
 
-let create ?(equivocate = false) ?(commit_depth = 2) env =
+let create ?(equivocate = false) ?(commit_depth = 2) ?wal env =
   if commit_depth < 2 then invalid_arg "Jolteon_node.create: commit_depth < 2";
   let t =
   {
     core = Node_core.create env;
     env;
     sync = None;
+    wal;
     equivocate;
     commit_depth;
     timeout_aggs = Hashtbl.create 16;
@@ -59,6 +62,24 @@ let create ?(equivocate = false) ?(commit_depth = 2) env =
   t
 
 let sync t = Option.get t.sync
+
+(* Persist the safety-critical state before the message that makes it
+   binding hits the wire.  Jolteon's slots map onto the shared WAL record:
+   the lock is the high QC, [voted_main] says whether the current round's
+   single vote was cast ([last_voted_round] is monotone, so equality with
+   the current round captures it exactly). *)
+let persist t =
+  match t.wal with
+  | None -> ()
+  | Some wal ->
+      Wal.record wal
+        {
+          Wal.cur_view = t.cur_round;
+          lock = Node_core.high_cert t.core;
+          timeout_view = t.timeout_round;
+          voted_opt = None;
+          voted_main = t.last_voted_round >= t.cur_round;
+        }
 
 let current_round t = t.cur_round
 let high_qc t = Node_core.high_cert t.core
@@ -115,6 +136,7 @@ and send_timeout t round =
   if not (Hashtbl.mem t.timeout_sent round) then begin
     Hashtbl.replace t.timeout_sent round ();
     t.timeout_round <- max t.timeout_round round;
+    persist t;
     Env.emit t.env (fun () -> Probe.Timeout_sent { view = round });
     t.env.Env.multicast
       (Jolteon_msg.Timeout { round; high_qc = Node_core.high_cert t.core })
@@ -144,12 +166,18 @@ and advance_to t round how =
           | Via_qc _ -> `Cert
           | Via_tc _ -> `Tc
           | Via_start -> `Start
+          | Via_recovery -> `Recovery
         in
         Probe.View_entered { view = round; via });
     t.cur_round <- round;
+    persist t;
     arm_round_timer t;
     if Env.is_leader t.env ~view:round then begin
       match how with
+      | Via_recovery ->
+          (* A recovered leader may have proposed before the crash;
+             proposing again would be honest-node equivocation. *)
+          ()
       | Via_start -> send_proposal t ~round ~qc:Cert.genesis ~tc:None
       | Via_qc qc -> send_proposal t ~round ~qc ~tc:None
       | Via_tc tc ->
@@ -186,6 +214,7 @@ and try_vote t (P (block, qc, tc)) =
     && justified
   then begin
     t.last_voted_round <- round;
+    persist t;
     Env.emit t.env (fun () ->
         Probe.Vote_sent
           { view = round; height = block.Block.height; kind = "normal" });
@@ -269,7 +298,20 @@ let handle t ~src msg =
   handle t ~src msg;
   Moonshot.Sync.poke (sync t)
 
-let start t = advance_to t 1 Via_start
+let start t =
+  match Option.map Wal.load t.wal with
+  | Some (Some saved) ->
+      (* Crash recovery: resume from the recorded round with the recorded
+         high QC and vote slot; the block synchronizer refills the store. *)
+      ignore (Node_core.record_cert t.core saved.Wal.lock);
+      advance_to t saved.Wal.cur_view Via_recovery;
+      t.timeout_round <- saved.Wal.timeout_view;
+      t.last_voted_round <-
+        (if saved.Wal.voted_main then saved.Wal.cur_view
+         else saved.Wal.cur_view - 1);
+      (* Re-persist: a second crash must still see the restored slots. *)
+      persist t
+  | Some None | None -> advance_to t 1 Via_start
 
 module Protocol = struct
   type msg = Jolteon_msg.t
@@ -280,8 +322,10 @@ module Protocol = struct
   let view_of = Jolteon_msg.view_of
 
   type node = t
+  type wal = Wal.t
 
-  let create ?(equivocate = false) env = create ~equivocate env
+  let wal_create = Wal.create
+  let create ?(equivocate = false) ?wal env = create ~equivocate ?wal env
   let start = start
   let handle = handle
 end

@@ -12,8 +12,16 @@ type t
 
 (** [commit_depth] (default 2) selects the consecutive-view commit rule:
     2 is Jolteon's two-chain; 3 yields the chained-HotStuff baseline exposed
-    by {!Hotstuff}. *)
-val create : ?equivocate:bool -> ?commit_depth:int -> Jolteon_msg.t Env.t -> t
+    by {!Hotstuff}.  With [?wal], the node records its safety-critical state
+    (round, high QC, vote and timeout slots) before every binding send, and
+    {!start} resumes from it when it already holds a record — crash
+    recovery, see {!Moonshot.Wal}. *)
+val create :
+  ?equivocate:bool ->
+  ?commit_depth:int ->
+  ?wal:Moonshot.Wal.t ->
+  Jolteon_msg.t Env.t ->
+  t
 val start : t -> unit
 val handle : t -> src:int -> Jolteon_msg.t -> unit
 

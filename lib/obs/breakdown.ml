@@ -87,6 +87,7 @@ let rows events =
           a.a_bytes <- a.a_bytes + bytes
       | Trace.Delivered { view = None; _ } -> ()
       | Trace.Committed _ -> ()
+      | Trace.Fault _ -> ()  (* no view axis; the timeline pp shows them *)
       | Trace.Quorum_commit { view; _ } ->
           let a = get view in
           a.a_commit <- min_opt a.a_commit time)

@@ -2,6 +2,16 @@ open Bft_types
 
 type delivery_class = [ `Proposal | `Vote | `Timeout | `Other ]
 
+type fault =
+  | Crash
+  | Recover
+  | Partition_start
+  | Partition_heal
+  | Loss_start
+  | Loss_end
+  | Delay_start
+  | Delay_end
+
 type kind =
   | Node_event of Probe.event
   | Delivered of {
@@ -12,6 +22,7 @@ type kind =
     }
   | Committed of { view : int; height : int }
   | Quorum_commit of { view : int; height : int }
+  | Fault of fault
 
 type event = { time : float; node : int; kind : kind }
 
@@ -43,6 +54,16 @@ let class_name = function
   | `Vote -> "vote"
   | `Timeout -> "timeout"
   | `Other -> "other"
+
+let fault_name = function
+  | Crash -> "crash"
+  | Recover -> "recover"
+  | Partition_start -> "partition"
+  | Partition_heal -> "heal"
+  | Loss_start -> "loss_start"
+  | Loss_end -> "loss_end"
+  | Delay_start -> "delay_start"
+  | Delay_end -> "delay_end"
 
 (* Compact deterministic float: fixed six decimals, trailing zeros trimmed.
    Identical inputs yield identical bytes, which is what the determinism
@@ -109,7 +130,10 @@ let add_event_json b { time; node; kind } =
   | Quorum_commit { view; height } ->
       buf_str_field b ~first:false "ev" "quorum_commit";
       buf_field b ~first:false "view" (string_of_int view);
-      buf_field b ~first:false "height" (string_of_int height));
+      buf_field b ~first:false "height" (string_of_int height)
+  | Fault fault ->
+      buf_str_field b ~first:false "ev" "fault";
+      buf_str_field b ~first:false "fault" (fault_name fault));
   Buffer.add_char b '}'
 
 let event_to_json ev =
@@ -145,3 +169,8 @@ let pp_event ppf { time; node; kind } =
   | Quorum_commit { view; height } ->
       Format.fprintf ppf "%8.1f ms  node %d  QUORUM-COMMIT v=%d h=%d" time
         node view height
+  | Fault fault ->
+      if node >= 0 then
+        Format.fprintf ppf "%8.1f ms  node %d  FAULT %s" time node
+          (fault_name fault)
+      else Format.fprintf ppf "%8.1f ms  network  FAULT %s" time (fault_name fault)

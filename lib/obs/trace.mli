@@ -25,6 +25,19 @@ open Bft_types
 
 type delivery_class = [ `Proposal | `Vote | `Timeout | `Other ]
 
+(** Fault-injection milestones (reported by the harness's fault
+    interpreter): node crashes and recoveries, and the opening/closing
+    edges of partition, loss and delay windows. *)
+type fault =
+  | Crash
+  | Recover
+  | Partition_start
+  | Partition_heal
+  | Loss_start
+  | Loss_end
+  | Delay_start
+  | Delay_end
+
 type kind =
   | Node_event of Probe.event
   | Delivered of {
@@ -35,9 +48,11 @@ type kind =
     }
   | Committed of { view : int; height : int }
   | Quorum_commit of { view : int; height : int }
+  | Fault of fault
 
 (** [node] is the acting node: the emitter for node events, the receiver
-    for deliveries, the committing node for (quorum) commits. *)
+    for deliveries, the committing node for (quorum) commits, the affected
+    node for crash/recover faults ([-1] for network-wide fault windows). *)
 type event = { time : float; node : int; kind : kind }
 
 type t
@@ -76,6 +91,7 @@ val to_jsonl : t -> string
 val output : out_channel -> t -> unit
 
 val class_name : delivery_class -> string
+val fault_name : fault -> string
 
 (** One human-readable timeline line, e.g.
     [" 20.0 ms  0 -> 2  proposal v=2 (278B)"]. *)

@@ -14,9 +14,11 @@ type t = {
   bandwidth_bps : float option;
   model_cpu : bool;
   duplicate_prob : float;
+  drop_prob : float;
   seed : int;
   equivocators : int list;
   byzantine : (int * Byzantine.t) list;
+  faults : Bft_faults.Fault_schedule.t;
 }
 
 let default protocol ~n =
@@ -34,9 +36,11 @@ let default protocol ~n =
     bandwidth_bps = Some Bft_workload.Regions.bandwidth_bps;
     model_cpu = true;
     duplicate_prob = 0.;
+    drop_prob = 0.;
     seed = 1;
     equivocators = [];
     byzantine = [];
+    faults = Bft_faults.Fault_schedule.empty;
   }
 
 let local protocol ~n =
@@ -60,6 +64,8 @@ let validate t =
     invalid_arg "Config: negative gst/pre_gst_extra";
   if t.duplicate_prob < 0. || t.duplicate_prob > 1. then
     invalid_arg "Config: duplicate_prob outside [0, 1]";
+  if t.drop_prob < 0. || t.drop_prob > 1. then
+    invalid_arg "Config: drop_prob outside [0, 1]";
   let faulty_ids = t.equivocators @ List.map fst t.byzantine in
   List.iter
     (fun i ->
@@ -70,7 +76,19 @@ let validate t =
   let distinct = List.sort_uniq compare faulty_ids in
   let f = (t.n - 1) / 3 in
   if List.length distinct + t.f_actual > f then
-    invalid_arg "Config: more faulty nodes than the threat model's f"
+    invalid_arg "Config: more faulty nodes than the threat model's f";
+  (* The fault schedule shares the same budget: at every instant, crashed +
+     Byzantine (silent and behavioural) nodes must not exceed f.  Crash
+     targets must be honest — the silent set has no node to crash and a
+     behavioural Byzantine node crashing would double-count. *)
+  let silent =
+    List.filter
+      (Bft_workload.Schedules.is_byzantine ~n:t.n ~f':t.f_actual)
+      (List.init t.n (fun i -> i))
+  in
+  Bft_faults.Fault_schedule.validate ~n:t.n ~f
+    ~byzantine:(List.sort_uniq compare (silent @ distinct))
+    t.faults
 
 
 let pp ppf t =

@@ -23,6 +23,9 @@ type t = {
           network size, as on the paper's m5.large instances. *)
   duplicate_prob : float;
       (** Network-level duplication probability (robustness testing). *)
+  drop_prob : float;
+      (** Network-level per-message loss probability (robustness testing);
+          positive values suspend the post-GST delivery guarantee. *)
   seed : int;
   equivocators : int list;
       (** Node ids running the equivocating-proposer attack (tests);
@@ -30,6 +33,12 @@ type t = {
   byzantine : (int * Byzantine.t) list;
       (** Per-node Byzantine behaviour assignments (see {!Byzantine}); must
           not overlap the silent set implied by [f_actual]. *)
+  faults : Bft_faults.Fault_schedule.t;
+      (** Timed fault events (crash/recover/partition/loss/delay) the
+          harness interprets against the simulator.  Validated to stay
+          inside the [f] budget jointly with the Byzantine sets; the empty
+          schedule (default) leaves the run byte-identical to one without
+          fault machinery. *)
 }
 
 (** The paper's WAN setting: [Wan] latencies, 10 Gbit/s egress,
@@ -41,7 +50,8 @@ val default : Protocol_kind.t -> n:int -> t
 val local : Protocol_kind.t -> n:int -> t
 
 (** Raises [Invalid_argument] when inconsistent (f' too large, equivocators
-    out of range or overlapping the silent set, bad sizes). *)
+    out of range or overlapping the silent set, bad sizes, fault schedule
+    outside the joint crashed+Byzantine budget of f). *)
 val validate : t -> unit
 
 val pp : Format.formatter -> t -> unit

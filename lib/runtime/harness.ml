@@ -4,12 +4,18 @@ let log_src = Logs.Src.create "moonshot.harness" ~doc:"Experiment harness"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+type fault_summary = {
+  liveness : Bft_obs.Liveness.report;
+  messages_during_heal : int;
+}
+
 type run_result = {
   metrics : Metrics.result;
   messages_sent : int;
   bytes_sent : float;
   events_processed : int;
   config : Config.t;
+  fault_summary : fault_summary option;
 }
 
 (* Lifetime event counter, atomic so runs on worker domains count too. *)
@@ -32,11 +38,14 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ()) ?trace
     | Some t when Bft_obs.Trace.enabled t -> Some t
     | Some _ | None -> None
   in
+  let faults = Bft_faults.Fault_schedule.sorted cfg.Config.faults in
+  let faulted = not (Bft_faults.Fault_schedule.is_empty faults) in
   let network =
     Bft_sim.Network.make
       ?bandwidth_bps:cfg.Config.bandwidth_bps
       ~gst:cfg.Config.gst_ms ~pre_gst_extra:cfg.Config.pre_gst_extra_ms
       ~duplicate_prob:cfg.Config.duplicate_prob
+      ~drop_prob:cfg.Config.drop_prob
       ~latency:(latency_model cfg) ~delta:cfg.Config.delta_ms ()
   in
   let engine =
@@ -45,6 +54,15 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ()) ?trace
       ~msg_size:P.msg_size ?cpu_cost ()
   in
   let metrics = Metrics.create ~n:cfg.Config.n () in
+  (* The online monitor only exists for fault runs; an unfaulted run keeps
+     the exact callback/instruction profile it had without fault support. *)
+  let monitor =
+    if faulted then
+      Some
+        (Bft_obs.Liveness.create ~n:cfg.Config.n ~delta:cfg.Config.delta_ms
+           ~gst:cfg.Config.gst_ms ())
+    else None
+  in
   (match trace with
   | None -> ()
   | Some sink ->
@@ -61,16 +79,30 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ()) ?trace
                     view = P.view_of msg;
                     bytes = P.msg_size msg;
                   };
-            });
-      Metrics.set_on_quorum_commit metrics (fun ~node ~time block ->
-          Bft_obs.Trace.emit sink
-            {
-              Bft_obs.Trace.time;
-              node;
-              kind =
-                Bft_obs.Trace.Quorum_commit
-                  { view = block.Block.view; height = block.Block.height };
             }));
+  (* Metrics has a single quorum-commit observer slot: compose the trace
+     emitter and the liveness monitor into it. *)
+  (match (trace, monitor) with
+  | None, None -> ()
+  | _ ->
+      Metrics.set_on_quorum_commit metrics (fun ~node ~time block ->
+          (match monitor with
+          | Some mon ->
+              Bft_obs.Liveness.note_quorum_commit mon ~time
+                ~height:block.Block.height
+                ~hash:(Hash.to_int block.Block.hash)
+          | None -> ());
+          match trace with
+          | Some sink ->
+              Bft_obs.Trace.emit sink
+                {
+                  Bft_obs.Trace.time;
+                  node;
+                  kind =
+                    Bft_obs.Trace.Quorum_commit
+                      { view = block.Block.view; height = block.Block.height };
+                }
+          | None -> ()));
   let validators = Validator_set.make cfg.Config.n in
   let leader_of =
     Bft_workload.Schedules.leader_of cfg.Config.schedule ~n:cfg.Config.n
@@ -84,7 +116,8 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ()) ?trace
       now = (fun () -> Bft_sim.Engine.now engine);
       send = (fun dst msg -> Bft_sim.Engine.send engine ~src:id ~dst msg);
       multicast = (fun msg -> Bft_sim.Engine.multicast engine ~src:id msg);
-      set_timer = (fun delay f -> Bft_sim.Engine.set_timer engine delay f);
+      set_timer =
+        (fun delay f -> Bft_sim.Engine.set_timer ~owner:id engine delay f);
       leader_of;
       make_payload =
         (fun ~view ->
@@ -102,6 +135,12 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ()) ?trace
                     Bft_obs.Trace.Committed
                       { view = block.Block.view; height = block.Block.height };
                 });
+          (match monitor with
+          | Some mon ->
+              Bft_obs.Liveness.note_commit mon ~node:id
+                ~time:(Bft_sim.Engine.now engine)
+                ~height:block.Block.height
+          | None -> ());
           Metrics.on_commit metrics ~node:id
             ~time:(Bft_sim.Engine.now engine)
             block;
@@ -132,11 +171,19 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ()) ?trace
     else if List.mem id cfg.Config.equivocators then Some Byzantine.Equivocate
     else List.assoc_opt id cfg.Config.byzantine
   in
+  (* WALs exist only in fault runs; each participant gets one that outlives
+     its incarnations, so a recovery restarts the node from its own durable
+     state (and only from that — proving the double-vote-prevention story). *)
+  let wals =
+    if faulted then Array.init cfg.Config.n (fun _ -> P.wal_create ())
+    else [||]
+  in
+  let wal_of id = if faulted then Some wals.(id) else None in
   let nodes =
     List.filter_map
       (fun id ->
         let make ?(equivocate = false) env =
-          let node = P.create ~equivocate env in
+          let node = P.create ~equivocate ?wal:(wal_of id) env in
           Bft_sim.Engine.set_handler engine id (P.handle node);
           Some node
         in
@@ -153,6 +200,161 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ()) ?trace
         | None -> make (env_of id))
       (List.init cfg.Config.n (fun i -> i))
   in
+  (* Interpret the fault schedule: crash/recover thunks, link-level window
+     overlays, liveness checkpoints and healing-traffic accounting. *)
+  let messages_during_heal = ref 0 in
+  (if faulted then begin
+     let module FS = Bft_faults.Fault_schedule in
+     let mon = Option.get monitor in
+     List.iter
+       (fun id ->
+         if behaviour_of id <> None then Bft_obs.Liveness.set_exempt mon id)
+       (List.init cfg.Config.n (fun i -> i));
+     let overlay = Bft_faults.Overlay.compile ~n:cfg.Config.n faults in
+     if Bft_faults.Overlay.has_link_effects overlay then begin
+       (* Probabilistic loss draws come from a dedicated stream so the
+          engine's own RNGs stay on the sequence an unfaulted run sees. *)
+       let fault_rng = Bft_sim.Rng.create (cfg.Config.seed lxor 0x5eed_fa17) in
+       Bft_sim.Engine.set_link_filter engine (fun ~src ~dst ~now ->
+           (not (Bft_faults.Overlay.cut overlay ~src ~dst ~now))
+           &&
+           let p = Bft_faults.Overlay.loss_prob overlay ~now in
+           p <= 0. || Bft_sim.Rng.float fault_rng 1. >= p);
+       Bft_sim.Engine.set_link_delay engine (fun ~src:_ ~dst:_ ~now ->
+           Bft_faults.Overlay.extra_delay overlay ~now)
+     end;
+     let emit_fault ~time ~node fault =
+       match trace with
+       | Some sink ->
+           Bft_obs.Trace.emit sink
+             { Bft_obs.Trace.time; node; kind = Bft_obs.Trace.Fault fault }
+       | None -> ()
+     in
+     let window_edges from_ until start_fault end_fault =
+       if Option.is_some trace then begin
+         Bft_sim.Engine.schedule_at engine from_ (fun () ->
+             emit_fault ~time:from_ ~node:(-1) start_fault);
+         Bft_sim.Engine.schedule_at engine until (fun () ->
+             emit_fault ~time:until ~node:(-1) end_fault)
+       end
+     in
+     List.iter
+       (fun ev ->
+         match ev with
+         | FS.Crash { node; at } ->
+             Bft_sim.Engine.schedule_at engine at (fun () ->
+                 Log.debug (fun m -> m "fault: crash node %d at %.0f" node at);
+                 Bft_sim.Engine.crash engine node;
+                 Bft_obs.Liveness.note_crash mon ~node ~time:at;
+                 emit_fault ~time:at ~node Bft_obs.Trace.Crash)
+         | FS.Recover { node; at } ->
+             Bft_sim.Engine.schedule_at engine at (fun () ->
+                 Log.debug (fun m ->
+                     m "fault: recover node %d at %.0f" node at);
+                 Bft_sim.Engine.recover engine node;
+                 Bft_obs.Liveness.note_recover mon ~node ~time:at;
+                 emit_fault ~time:at ~node Bft_obs.Trace.Recover;
+                 (* Rebuild the node from its WAL; [start] resumes from the
+                    recorded view and the block synchronizer refills the
+                    store (the node catches up instead of re-voting). *)
+                 let fresh = P.create ?wal:(wal_of node) (env_of node) in
+                 Bft_sim.Engine.set_handler engine node (P.handle fresh);
+                 P.start fresh)
+         | FS.Partition { from_; until; _ } ->
+             window_edges from_ until Bft_obs.Trace.Partition_start
+               Bft_obs.Trace.Partition_heal
+         | FS.Link_loss { from_; until; _ } ->
+             window_edges from_ until Bft_obs.Trace.Loss_start
+               Bft_obs.Trace.Loss_end
+         | FS.Delay_spike { from_; until; _ } ->
+             window_edges from_ until Bft_obs.Trace.Delay_start
+               Bft_obs.Trace.Delay_end)
+       faults;
+     (* One liveness checkpoint per disruption-free point: GST and every
+        heal/recovery.  A checkpoint whose [k * Delta] window contains a
+        later disruption (or an open partition/loss/delay window, or the
+        run's horizon) is superseded — the later point carries the bound. *)
+     let k_ms = Bft_obs.Liveness.bound mon in
+     let horizon = cfg.Config.duration_ms in
+     let heals = FS.heal_times faults in
+     let checkpoints =
+       List.sort_uniq Float.compare (cfg.Config.gst_ms :: heals)
+     in
+     (* A crash is a disruption from the crash until the matching recovery
+        (or forever, if the node never comes back): a checkpoint whose
+        window overlaps a node's downtime measures the network mid-fault,
+        so the span supersedes it like any other disruption window. *)
+     let crash_spans =
+       List.filter_map
+         (function
+           | FS.Crash { node; at } ->
+               let recovery =
+                 List.filter_map
+                   (function
+                     | FS.Recover { node = n'; at = r } when n' = node && r > at
+                       ->
+                         Some r
+                     | _ -> None)
+                   faults
+               in
+               Some
+                 ( at,
+                   match recovery with
+                   | [] -> infinity
+                   | rs -> List.fold_left Float.min (List.hd rs) rs )
+           | _ -> None)
+         faults
+     in
+     let windows =
+       crash_spans
+       @ List.filter_map
+           (function
+             | FS.Partition { from_; until; _ }
+             | FS.Link_loss { from_; until; _ }
+             | FS.Delay_spike { from_; until; _ } ->
+                 Some (from_, until)
+             | FS.Crash _ | FS.Recover _ -> None)
+           faults
+     in
+     List.iter
+       (fun d ->
+         let deadline = d +. k_ms in
+         let superseded =
+           deadline > horizon
+           || List.exists (fun d' -> d' > d && d' <= deadline) checkpoints
+           || List.exists (fun (a, b) -> a < deadline && b > d) windows
+         in
+         if not superseded then
+           Bft_sim.Engine.schedule_at engine deadline (fun () ->
+               Bft_obs.Liveness.check mon ~since:d ~now:deadline))
+       checkpoints;
+     (* Healing traffic: messages sent inside the (merged) [heal,
+        heal + k * Delta] windows, from the engine's own counters. *)
+     let rec merge = function
+       | (a, b) :: (c, d) :: rest when c <= b ->
+           merge ((a, Float.max b d) :: rest)
+       | span :: rest -> span :: merge rest
+       | [] -> []
+     in
+     let heal_windows =
+       merge
+         (List.map
+            (fun d -> (d, Float.min (d +. k_ms) horizon))
+            (List.sort_uniq Float.compare heals))
+     in
+     let window_start = ref 0 in
+     List.iter
+       (fun (a, b) ->
+         Bft_sim.Engine.schedule_at engine a (fun () ->
+             window_start :=
+               (Bft_sim.Engine.stats engine).Bft_sim.Engine.messages_sent);
+         Bft_sim.Engine.schedule_at engine b (fun () ->
+             messages_during_heal :=
+               !messages_during_heal
+               + (Bft_sim.Engine.stats engine).Bft_sim.Engine.messages_sent
+               - !window_start))
+       heal_windows
+   end);
   Log.debug (fun m -> m "starting run: %a" Config.pp cfg);
   List.iter P.start nodes;
   Bft_sim.Engine.run engine ~until:cfg.Config.duration_ms;
@@ -167,6 +369,14 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ()) ?trace
       bytes_sent = stats.Bft_sim.Engine.bytes_sent;
       events_processed = stats.Bft_sim.Engine.events_processed;
       config = cfg;
+      fault_summary =
+        Option.map
+          (fun mon ->
+            {
+              liveness = Bft_obs.Liveness.report mon;
+              messages_during_heal = !messages_during_heal;
+            })
+          monitor;
     }
   in
   Log.info (fun m ->

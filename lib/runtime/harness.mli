@@ -15,12 +15,25 @@
     reporter (e.g. [Logs.format_reporter ()]). *)
 val log_src : Logs.src
 
+(** Present on fault-schedule runs (see {!Config.t.faults}): the online
+    {!Bft_obs.Liveness} monitor's findings plus the message traffic counted
+    during the healing windows ([heal, heal + k * Delta]).  The monitor
+    raises {!Bft_obs.Liveness.Violation} during the run if safety or the
+    liveness bound is breached, so a returned summary means every check
+    passed. *)
+type fault_summary = {
+  liveness : Bft_obs.Liveness.report;
+  messages_during_heal : int;
+}
+
 type run_result = {
   metrics : Metrics.result;
   messages_sent : int;
   bytes_sent : float;
   events_processed : int;
   config : Config.t;
+  fault_summary : fault_summary option;
+      (** [Some _] iff the config carried a non-empty fault schedule. *)
 }
 
 (** Run a specific protocol implementation under a configuration.

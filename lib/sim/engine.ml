@@ -7,18 +7,28 @@ type stats = {
 (* Message traffic — the O(n^2)-per-view hot path — is scheduled as flat
    constructors carrying (src, dst, msg), so a send allocates one small
    block instead of capturing a closure.  Timers and one-off scheduled
-   actions are inherently code, so those arms keep a closure. *)
+   actions are inherently code, so those arms keep a closure.
+
+   Deliver/Process additionally carry the destination's incarnation epoch
+   at enqueue time: crashing a node bumps its epoch, so in-flight events
+   addressed to the previous incarnation are dropped on execution instead
+   of resurrecting state the crash was supposed to lose. *)
 type 'msg event =
-  | Deliver of int * int * 'msg
-      (** Hand [msg] from [src] to [dst]'s handler (CPU queue already paid,
-          or not modelled). *)
-  | Process of int * int * 'msg
-      (** Network arrival of [msg] at [dst]: run it through [dst]'s serial
-          CPU queue, then deliver. *)
+  | Deliver of int * int * int * 'msg
+      (** [(src, dst, dst_epoch, msg)]: hand [msg] from [src] to [dst]'s
+          handler (CPU queue already paid, or not modelled). *)
+  | Process of int * int * int * 'msg
+      (** [(src, dst, dst_epoch, msg)]: network arrival of [msg] at [dst]:
+          run it through [dst]'s serial CPU queue, then deliver. *)
   | Timer of timer
   | Thunk of (unit -> unit)
 
-and timer = { mutable cancelled : bool; action : unit -> unit }
+and timer = {
+  mutable cancelled : bool;
+  owner : int;  (* -1 = unowned; survives crashes *)
+  epoch : int;
+  action : unit -> unit;
+}
 
 type 'msg t = {
   n : int;
@@ -32,11 +42,18 @@ type 'msg t = {
   msg_size : 'msg -> int;
   cpu_cost : ('msg -> float) option;
   mutable clock : float;
-  (* The filter and tap default to no-ops; the [_installed] flags let the
-     per-message path skip the indirect call entirely in the common
-     uninstrumented, unpartitioned run. *)
+  (* Fault state: [down.(i)] quenches node [i]'s sends, deliveries and
+     timers; [epochs.(i)] counts its incarnations so events and timers from
+     before a crash stay dead after recovery. *)
+  down : bool array;
+  epochs : int array;
+  (* The filter, delay overlay and tap default to no-ops; the [_installed]
+     flags let the per-message path skip the indirect call entirely in the
+     common uninstrumented, unpartitioned run. *)
   mutable filter : src:int -> dst:int -> now:float -> bool;
   mutable filter_installed : bool;
+  mutable delay : src:int -> dst:int -> now:float -> float;
+  mutable delay_installed : bool;
   mutable tap : time:float -> src:int -> dst:int -> 'msg -> unit;
   mutable tap_installed : bool;
   stats : stats;
@@ -57,8 +74,12 @@ let create ~n ~network ~seed ~msg_size ?cpu_cost () =
     msg_size;
     cpu_cost;
     clock = 0.;
+    down = Array.make n false;
+    epochs = Array.make n 0;
     filter = (fun ~src:_ ~dst:_ ~now:_ -> true);
     filter_installed = false;
+    delay = (fun ~src:_ ~dst:_ ~now:_ -> 0.);
+    delay_installed = false;
     tap = (fun ~time:_ ~src:_ ~dst:_ _ -> ());
     tap_installed = false;
     stats = { events_processed = 0; messages_sent = 0; bytes_sent = 0. };
@@ -70,6 +91,10 @@ let set_link_filter t f =
   t.filter <- f;
   t.filter_installed <- true
 
+let set_link_delay t f =
+  t.delay <- f;
+  t.delay_installed <- true
+
 let set_delivery_tap t f =
   t.tap <- f;
   t.tap_installed <- true
@@ -77,61 +102,113 @@ let now t = t.clock
 let n t = t.n
 let node_rng t i = t.node_rngs.(i)
 
-let deliver t ~src ~dst msg =
-  if t.tap_installed then t.tap ~time:t.clock ~src ~dst msg;
-  t.handlers.(dst) ~src msg
+let check_node t name i =
+  if i < 0 || i >= t.n then invalid_arg ("Engine." ^ name ^ ": node out of range")
+
+let is_down t i =
+  check_node t "is_down" i;
+  t.down.(i)
+
+(* Crashing loses all volatile state: the handler is detached, in-flight
+   events and pending timers die via the epoch bump, and any CPU backlog is
+   forgotten.  The node's durable state (a WAL, if the protocol keeps one)
+   lives outside the engine. *)
+let crash t i =
+  check_node t "crash" i;
+  if not t.down.(i) then begin
+    t.down.(i) <- true;
+    t.epochs.(i) <- t.epochs.(i) + 1;
+    t.handlers.(i) <- (fun ~src:_ _ -> ());
+    t.cpu_free.(i) <- 0.
+  end
+
+(* Recovery only clears the down flag; the caller installs a fresh handler
+   (a node rebuilt from durable state) and starts it. *)
+let recover t i =
+  check_node t "recover" i;
+  t.down.(i) <- false
+
+let deliver t ~src ~dst ~epoch msg =
+  if (not (Array.unsafe_get t.down dst))
+     && Array.unsafe_get t.epochs dst = epoch
+  then begin
+    if t.tap_installed then t.tap ~time:t.clock ~src ~dst msg;
+    t.handlers.(dst) ~src msg
+  end
 
 (* Run the message through [dst]'s serial CPU queue before handing it to the
    handler; invoked at the message's network arrival time. *)
-let process t ~src ~dst msg =
-  match t.cpu_cost with
-  | None -> deliver t ~src ~dst msg
-  | Some cost ->
-      let start = Float.max t.clock t.cpu_free.(dst) in
-      let finish = start +. cost msg in
-      t.cpu_free.(dst) <- finish;
-      if finish <= t.clock then deliver t ~src ~dst msg
-      else Event_queue.push t.queue ~time:finish (Deliver (src, dst, msg))
+let process t ~src ~dst ~epoch msg =
+  if (not (Array.unsafe_get t.down dst))
+     && Array.unsafe_get t.epochs dst = epoch
+  then
+    match t.cpu_cost with
+    | None -> deliver t ~src ~dst ~epoch msg
+    | Some cost ->
+        let start = Float.max t.clock t.cpu_free.(dst) in
+        let finish = start +. cost msg in
+        t.cpu_free.(dst) <- finish;
+        if finish <= t.clock then deliver t ~src ~dst ~epoch msg
+        else Event_queue.push t.queue ~time:finish (Deliver (src, dst, epoch, msg))
 
 (* One network send with the byte size already computed and accounted. *)
 let send_sized t ~src ~dst ~size msg =
-  if dst = src then
+  if Array.unsafe_get t.down src then ()
+  else if dst = src then
     (* Local hand-off: no serialization, no propagation, no CPU charge. *)
-    Event_queue.push t.queue ~time:t.clock (Deliver (src, dst, msg))
+    Event_queue.push t.queue ~time:t.clock
+      (Deliver (src, dst, Array.unsafe_get t.epochs dst, msg))
   else if (not t.filter_installed) || t.filter ~src ~dst ~now:t.clock then begin
-    let arrival =
-      Network.delivery_into t.network t.net_rng ~now:t.clock
-        ~egress:t.egress_free ~src ~dst ~size
-    in
-    Event_queue.push t.queue ~time:arrival (Process (src, dst, msg));
-    let dup = t.network.Network.duplicate_prob in
-    if dup > 0. && Rng.float t.net_rng 1. < dup then begin
-      (* Network-level duplication: the copy trails the original slightly. *)
-      let lag = Rng.float t.net_rng (0.5 *. t.network.Network.delta) in
-      Event_queue.push t.queue ~time:(arrival +. lag) (Process (src, dst, msg))
+    let drop = t.network.Network.drop_prob in
+    if drop > 0. && Rng.float t.net_rng 1. < drop then ()
+    else begin
+      let arrival =
+        Network.delivery_into t.network t.net_rng ~now:t.clock
+          ~egress:t.egress_free ~src ~dst ~size
+      in
+      let arrival =
+        if t.delay_installed then arrival +. t.delay ~src ~dst ~now:t.clock
+        else arrival
+      in
+      let epoch = Array.unsafe_get t.epochs dst in
+      Event_queue.push t.queue ~time:arrival (Process (src, dst, epoch, msg));
+      let dup = t.network.Network.duplicate_prob in
+      if dup > 0. && Rng.float t.net_rng 1. < dup then begin
+        (* Network-level duplication: the copy trails the original slightly. *)
+        let lag = Rng.float t.net_rng (0.5 *. t.network.Network.delta) in
+        Event_queue.push t.queue ~time:(arrival +. lag)
+          (Process (src, dst, epoch, msg))
+      end
     end
   end
 
 let send t ~src ~dst msg =
-  let size = t.msg_size msg in
-  t.stats.messages_sent <- t.stats.messages_sent + 1;
-  t.stats.bytes_sent <- t.stats.bytes_sent +. float_of_int size;
-  send_sized t ~src ~dst ~size msg
+  if Array.unsafe_get t.down src then ()
+  else begin
+    let size = t.msg_size msg in
+    t.stats.messages_sent <- t.stats.messages_sent + 1;
+    t.stats.bytes_sent <- t.stats.bytes_sent +. float_of_int size;
+    send_sized t ~src ~dst ~size msg
+  end
 
 let multicast t ~src msg =
-  (* The wire size is per-message, not per-destination: compute it and the
-     traffic accounting once for the whole fan-out. *)
-  let size = t.msg_size msg in
-  t.stats.messages_sent <- t.stats.messages_sent + t.n;
-  t.stats.bytes_sent <- t.stats.bytes_sent +. float_of_int (size * t.n);
-  send_sized t ~src ~dst:src ~size msg;
-  for dst = 0 to t.n - 1 do
-    if dst <> src then send_sized t ~src ~dst ~size msg
-  done
+  if Array.unsafe_get t.down src then ()
+  else begin
+    (* The wire size is per-message, not per-destination: compute it and the
+       traffic accounting once for the whole fan-out. *)
+    let size = t.msg_size msg in
+    t.stats.messages_sent <- t.stats.messages_sent + t.n;
+    t.stats.bytes_sent <- t.stats.bytes_sent +. float_of_int (size * t.n);
+    send_sized t ~src ~dst:src ~size msg;
+    for dst = 0 to t.n - 1 do
+      if dst <> src then send_sized t ~src ~dst ~size msg
+    done
+  end
 
-let set_timer t delay f =
+let set_timer ?(owner = -1) t delay f =
   if delay < 0. then invalid_arg "Engine.set_timer: negative delay";
-  let tm = { cancelled = false; action = f } in
+  let epoch = if owner >= 0 then t.epochs.(owner) else 0 in
+  let tm = { cancelled = false; owner; epoch; action = f } in
   Event_queue.push t.queue ~time:(t.clock +. delay) (Timer tm);
   fun () -> tm.cancelled <- true
 
@@ -139,10 +216,15 @@ let schedule_at t time f =
   if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
   Event_queue.push t.queue ~time (Thunk f)
 
+let timer_live t tm =
+  (not tm.cancelled)
+  && (tm.owner < 0
+     || ((not t.down.(tm.owner)) && t.epochs.(tm.owner) = tm.epoch))
+
 let exec t = function
-  | Deliver (src, dst, msg) -> deliver t ~src ~dst msg
-  | Process (src, dst, msg) -> process t ~src ~dst msg
-  | Timer tm -> if not tm.cancelled then tm.action ()
+  | Deliver (src, dst, epoch, msg) -> deliver t ~src ~dst ~epoch msg
+  | Process (src, dst, epoch, msg) -> process t ~src ~dst ~epoch msg
+  | Timer tm -> if timer_live t tm then tm.action ()
   | Thunk f -> f ()
 
 let run t ~until =

@@ -42,9 +42,29 @@ val set_delivery_tap :
 
 (** [set_link_filter t f] drops a message when [f ~src ~dst ~now] is false.
     Only meaningful before GST in honest runs (the model's channels are
-    reliable after GST); used by tests to create partitions and by Byzantine
-    behaviours to send to subsets. *)
+    reliable after GST); used by tests to create partitions, by Byzantine
+    behaviours to send to subsets, and by fault injection. *)
 val set_link_filter : 'msg t -> (src:int -> dst:int -> now:float -> bool) -> unit
+
+(** [set_link_delay t f] adds [f ~src ~dst ~now] ms on top of the network
+    model's delivery time for every non-self message.  A positive value can
+    exceed [delta] — that is the point: fault injection uses it for
+    time-windowed asynchrony spikes. *)
+val set_link_delay : 'msg t -> (src:int -> dst:int -> now:float -> float) -> unit
+
+(** [crash t i] takes node [i] down: its handler is detached, its sends are
+    suppressed, and all in-flight deliveries, CPU backlog and pending owned
+    timers addressed to this incarnation are quenched (they never fire, even
+    after recovery).  Idempotent.  Durable state the protocol keeps outside
+    the engine (a WAL) is untouched. *)
+val crash : 'msg t -> int -> unit
+
+(** [recover t i] clears the down flag.  The caller is expected to install a
+    fresh handler (a node rebuilt from durable state) and start it; timers
+    created from now on belong to the new incarnation. *)
+val recover : 'msg t -> int -> unit
+
+val is_down : 'msg t -> int -> bool
 
 val now : 'msg t -> float
 val n : 'msg t -> int
@@ -60,8 +80,11 @@ val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
     The egress link serializes the [n - 1] copies in destination order. *)
 val multicast : 'msg t -> src:int -> 'msg -> unit
 
-(** [set_timer t delay f] runs [f] after [delay] ms; returns a cancel thunk. *)
-val set_timer : 'msg t -> float -> (unit -> unit) -> unit -> unit
+(** [set_timer t delay f] runs [f] after [delay] ms; returns a cancel thunk.
+    [owner] ties the timer to a node's current incarnation: if that node
+    crashes before the timer fires, the timer is quenched (also after a
+    later recovery).  Unowned timers (the default) always fire. *)
+val set_timer : ?owner:int -> 'msg t -> float -> (unit -> unit) -> unit -> unit
 
 (** [schedule_at t time f] runs [f] at absolute [time] (>= now). *)
 val schedule_at : 'msg t -> float -> (unit -> unit) -> unit

@@ -26,6 +26,11 @@ type t = private {
       (** Probability that a delivered message is delivered a second time
           shortly after (network-level duplication; protocols must be
           idempotent).  0 by default. *)
+  drop_prob : float;
+      (** Probability that a non-self message is silently lost in transit.
+          0 by default; a positive value suspends the post-GST delivery
+          guarantee, so protocols must tolerate loss (retransmission,
+          sync).  Used by fault injection. *)
 }
 
 (** Raises [Invalid_argument] when [delta] cannot bound the post-GST delays
@@ -36,6 +41,7 @@ val make :
   ?gst:float ->
   ?pre_gst_extra:float ->
   ?duplicate_prob:float ->
+  ?drop_prob:float ->
   latency:Latency.t ->
   delta:float ->
   unit ->

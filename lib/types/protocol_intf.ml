@@ -29,11 +29,23 @@ module type S = sig
 
   type node
 
+  (** Durable per-node write-ahead log, abstract at this level (each
+      protocol records its own safety-critical slots).  A WAL outlives node
+      incarnations: the harness creates one per participant and threads it
+      back into {!create} when restarting a crashed node, which is what
+      prevents post-recovery double votes. *)
+  type wal
+
+  (** A fresh, empty WAL. *)
+  val wal_create : unit -> wal
+
   (** [create env] builds a node.  [equivocate] (default false) makes the
       node a Byzantine proposer that sends conflicting blocks to different
       halves of the network whenever it leads a view — used by safety tests;
-      implementations without an equivocation attack may ignore it. *)
-  val create : ?equivocate:bool -> msg Env.t -> node
+      implementations without an equivocation attack may ignore it.  [wal],
+      when given, is recorded to before every binding action and replayed on
+      {!start} when non-empty (crash recovery). *)
+  val create : ?equivocate:bool -> ?wal:wal -> msg Env.t -> node
 
   (** Start protocol execution (enter the first view, start timers, propose
       if leader). *)

@@ -4,8 +4,12 @@
    this net gives the adversary full power over scheduling: at every step it
    picks an arbitrary pending message to deliver, may drop or duplicate it,
    and may fire any pending timer at any moment (timers firing "too early"
-   model arbitrarily wrong clock behaviour).  Liveness is forfeit under such
-   an adversary — but safety must still hold, and a cross-node height check
+   model arbitrarily wrong clock behaviour).  With [~crashes:true] it also
+   crash-stops and restarts nodes at arbitrary moments (staying within the
+   concurrent budget of f): a crashed node loses all volatile state and
+   comes back from its WAL alone, so recovery-time double votes would
+   surface here as safety violations.  Liveness is forfeit under such an
+   adversary — but safety must still hold, and a cross-node height check
    enforces exactly that on every commit.
 
    Generic over any protocol speaking {!Moonshot.Message}, so Simple,
@@ -19,8 +23,12 @@ type t = {
   n : int;
   handlers : (src:int -> Moonshot.Message.t -> unit) array;
   starts : (unit -> unit) array;
+  restarts : (unit -> unit) array;  (* rebuild node [i] from its WAL *)
+  down : bool array;
+  crashes : bool;
+  mutable crash_budget : int;  (* concurrently-crashed allowance left *)
   mutable pool : pending list;
-  mutable timers : (bool ref * (unit -> unit)) list;
+  mutable timers : (bool ref * int * (unit -> unit)) list;  (* owner-tagged *)
   rng : Bft_sim.Rng.t;
   mutable clock : float;  (* logical; advances one unit per step *)
   height_first : (int, Block.t) Hashtbl.t;  (* global safety check *)
@@ -41,12 +49,17 @@ let check_safety t (b : Block.t) =
 let create (type node)
     (module P : Bft_types.Protocol_intf.S
       with type msg = Moonshot.Message.t
-       and type node = node) ?(equivocator = false) ~n ~seed () =
+       and type node = node) ?(equivocator = false) ?(crashes = false) ~n
+    ~seed () =
   let t =
     {
       n;
       handlers = Array.make n (fun ~src:_ _ -> ());
       starts = Array.make n (fun () -> ());
+      restarts = Array.make n (fun () -> ());
+      down = Array.make n false;
+      crashes;
+      crash_budget = (if crashes then ((n - 1) / 3) - (if equivocator then 1 else 0) else 0);
       pool = [];
       timers = [];
       rng = Bft_sim.Rng.create seed;
@@ -75,7 +88,7 @@ let create (type node)
       set_timer =
         (fun _delay f ->
           let cancelled = ref false in
-          t.timers <- (cancelled, f) :: t.timers;
+          t.timers <- (cancelled, id, f) :: t.timers;
           fun () -> cancelled := true);
       leader_of = (fun view -> (view - 1) mod n);
       make_payload = (fun ~view -> Payload.make ~id:view ~size_bytes:0);
@@ -89,17 +102,27 @@ let create (type node)
   in
   for id = 0 to n - 1 do
     let equivocate = equivocator && id = 0 in
-    let node = P.create ~equivocate (env_of id) in
-    t.handlers.(id) <- P.handle node;
-    t.starts.(id) <- (fun () -> P.start node)
+    let wal = P.wal_create () in
+    let boot () =
+      let node = P.create ~equivocate ~wal (env_of id) in
+      t.handlers.(id) <- P.handle node;
+      fun () -> P.start node
+    in
+    t.starts.(id) <- boot ();
+    t.restarts.(id) <-
+      (fun () ->
+        t.down.(id) <- false;
+        (boot ()) ())
   done;
   t
 
 let start t = Array.iter (fun f -> f ()) t.starts
 
 let deliver t { src; dst; msg } =
-  t.delivered <- t.delivered + 1;
-  t.handlers.(dst) ~src msg
+  if not t.down.(dst) then begin
+    t.delivered <- t.delivered + 1;
+    t.handlers.(dst) ~src msg
+  end
 
 let take_nth xs n =
   let rec go acc i = function
@@ -109,20 +132,47 @@ let take_nth xs n =
   in
   go [] 0 xs
 
+let crash t id =
+  t.down.(id) <- true;
+  t.handlers.(id) <- (fun ~src:_ _ -> ());
+  (* Quench the crashed incarnation's timers: its closures must never run. *)
+  t.timers <- List.filter (fun (_, owner, _) -> owner <> id) t.timers
+
+(* Crash/restart layer: arbitrary moments, but never more than the budget
+   of concurrently-crashed nodes (the equivocator counts against f). *)
+let crash_step t =
+  (if t.crash_budget > 0 && Bft_sim.Rng.int t.rng 25 = 0 then
+     let ups =
+       List.filter
+         (fun i -> (not t.down.(i)) && i > 0)
+         (List.init t.n (fun i -> i))
+     in
+     match ups with
+     | [] -> ()
+     | _ ->
+         crash t (List.nth ups (Bft_sim.Rng.int t.rng (List.length ups)));
+         t.crash_budget <- t.crash_budget - 1);
+  let downs = List.filter (fun i -> t.down.(i)) (List.init t.n (fun i -> i)) in
+  if downs <> [] && Bft_sim.Rng.int t.rng 15 = 0 then begin
+    t.restarts.(List.nth downs (Bft_sim.Rng.int t.rng (List.length downs))) ();
+    t.crash_budget <- t.crash_budget + 1
+  end
+
 (* One adversarial step: deliver / drop / duplicate a random pending
    message, or fire a random live timer. *)
 let step t =
   t.clock <- t.clock +. 1.;
-  let live_timers = List.filter (fun (c, _) -> not !c) t.timers in
+  if t.crashes then crash_step t;
+  let live_timers = List.filter (fun (c, _, _) -> not !c) t.timers in
   let fire_timer () =
     match live_timers with
     | [] -> ()
     | _ ->
-        let (cancelled, f), _ =
+        let (cancelled, _, f), _ =
           take_nth live_timers (Bft_sim.Rng.int t.rng (List.length live_timers))
         in
         cancelled := true;
-        t.timers <- List.filter (fun (c, _) -> not !c) t.timers;
+        t.timers <- List.filter (fun (c, _, _) -> not !c) t.timers;
         f ()
   in
   match t.pool with

@@ -284,6 +284,27 @@ let prop_fuzz_can_commit =
          alcotest wrapper below via at least counting deliveries. *)
       Test_support.Fuzz_net.delivered net > 0)
 
+let prop_safety_adversarial_with_crashes =
+  (* The adversary additionally crash-stops and restarts nodes at arbitrary
+     moments (within the concurrent f budget); restarted nodes come back
+     from their WAL alone, so a recovery-time double vote would surface as
+     a safety violation here. *)
+  QCheck.Test.make ~count:60
+    ~name:"safety under adversarial schedules with crash/restart"
+    QCheck.(pair (int_range 1 100_000) (int_range 0 2))
+    (fun (seed, which) ->
+      let run (module P : Bft_types.Protocol_intf.S
+                 with type msg = Moonshot.Message.t) =
+        Test_support.Fuzz_net.run
+          (Test_support.Fuzz_net.create (module P) ~crashes:true ~n:7 ~seed ())
+          ~steps:800
+      in
+      (match which with
+      | 0 -> run (module Moonshot.Simple_node.Protocol)
+      | 1 -> run (module Moonshot.Pipelined_node.Protocol)
+      | _ -> run (module Moonshot.Pipelined_node.Commit_protocol));
+      true)
+
 let fuzz_commits_somewhere () =
   let total = ref 0 in
   for seed = 1 to 40 do
@@ -297,6 +318,52 @@ let fuzz_commits_somewhere () =
   done;
   Alcotest.(check bool) "schedules with progress exist" true (!total > 20)
 
+
+(* --- randomized fault schedules --------------------------------------------------- *)
+
+(* Random crash/recover/partition/loss/delay schedules inside the f budget,
+   all healed by 0.6 * duration: the harness's online monitor raises on any
+   safety violation and on any node that fails to resume committing within
+   k * Delta of the last heal, so "the run returns with a passed check" is
+   the property. *)
+let fault_run_gen =
+  let* n = QCheck.Gen.int_range 4 7 in
+  let* protocol = protocol_gen in
+  let* seed = QCheck.Gen.int_range 1 10_000 in
+  QCheck.Gen.return (n, protocol, seed)
+
+let prop_random_fault_schedules =
+  QCheck.Test.make ~count:25
+    ~name:"random fault schedules: safe, and committing resumes after heal"
+    (QCheck.make fault_run_gen ~print:(fun (n, p, seed) ->
+         Printf.sprintf "n=%d %s seed=%d" n (Protocol_kind.short_name p) seed))
+    (fun (n, protocol, seed) ->
+      let delta = 50. and duration = 4_000. in
+      let faults =
+        Bft_faults.Fault_schedule.random
+          ~rng:(Bft_sim.Rng.create seed)
+          ~n
+          ~f:((n - 1) / 3)
+          ~duration ~delta
+      in
+      let cfg =
+        {
+          (Config.local protocol ~n) with
+          Config.delta_ms = delta;
+          duration_ms = duration;
+          seed;
+          faults;
+        }
+      in
+      let r = Harness.run cfg in
+      (* The checkpoint at the last heal is never superseded (everything is
+         healed well before the horizon), so at least one full liveness
+         check ran; a violation would have raised during the run. *)
+      match r.Harness.fault_summary with
+      | Some fs ->
+          fs.Harness.liveness.Bft_obs.Liveness.checks_passed >= 1
+          && r.Harness.metrics.Metrics.committed_blocks > 0
+      | None -> Bft_faults.Fault_schedule.is_empty faults)
 
 (* --- wire and CPU cost models --------------------------------------------------- *)
 
@@ -373,7 +440,9 @@ let () =
           [
             prop_safety_adversarial_schedules;
             prop_safety_adversarial_commit_moonshot;
+            prop_safety_adversarial_with_crashes;
             prop_fuzz_can_commit;
           ]
         @ [ Alcotest.test_case "progress exists" `Quick fuzz_commits_somewhere ] );
+      ("faults", q [ prop_random_fault_schedules ]);
     ]
