@@ -8,7 +8,11 @@
      dune exec bench/main.exe -- smoke            # tiny grid, CI tripwire
 
    Experiments: table1 table2 table3 fig6 fig7 fig8 fig9 fairness ablations
-   micro smoke all
+   micro mc mc-smoke smoke all
+
+   [mc] explores the model checker's exhaustive worlds and writes
+   BENCH_mc.json (states/second, pruning ratio); [--full] uses the
+   view-bound-3 acceptance worlds (under a minute per protocol).
 
    [--jobs N] fans independent grid runs out over N domains; the printed
    tables are byte-identical whatever N is (results are collected in
@@ -19,7 +23,7 @@
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|table2|table3|fig6|fig7|fig8|fig9|fairness|chaos|ablations|micro|smoke|all] \
+     [table1|table2|table3|fig6|fig7|fig8|fig9|fairness|chaos|ablations|micro|mc|mc-smoke|smoke|all] \
      [--full] [--jobs N]";
   exit 1
 
@@ -80,6 +84,8 @@ let () =
             Experiments.ablation_block_period scale;
             Experiments.ablation_lso scale
         | "micro" -> Micro.run ()
+        | "mc" -> Mc.run ~jobs ~full ()
+        | "mc-smoke" -> Mc.smoke ()
         | "smoke" ->
             (* Tiny grid on 2 domains (unless --jobs overrides), exercised
                from [dune runtest]: keeps the bench binary, the experiment

@@ -1,0 +1,124 @@
+(* Model-checker throughput benchmark.
+
+   Explores the standard exhaustive worlds (n = 4, the deepest bounds that
+   stay under a minute per protocol single-core) and reports states/second
+   and the reduction stack's pruning ratio, then writes BENCH_mc.json so
+   successive PRs can diff checker performance the same way BENCH_simcore.json
+   tracks the simulator.  [smoke] is the sub-second `dune runtest` tripwire:
+   tiny worlds through the full checker stack, failing loudly on any
+   violation, deadlock or non-exhaustion. *)
+
+open Bft_mc
+module Kind = Bft_runtime.Protocol_kind
+
+type row = {
+  name : string;
+  wall_s : float;
+  report : Mc_report.t;
+}
+
+let states_per_sec r =
+  if r.wall_s > 0. then
+    float_of_int r.report.Mc_report.stats.Mc_report.states_visited /. r.wall_s
+  else 0.
+
+(* The acceptance worlds: view bound 3 exhausts for every protocol in
+   under a minute single-core.  The default scale trims the three Moonshot
+   variants to view 2 (seconds, same reduction machinery); Jolteon and
+   HotStuff explore tiny spaces, and HotStuff's 3-chain rule needs the
+   third view to commit at all, so they keep the deep bound everywhere. *)
+let world ~full kind =
+  let view_bound =
+    match kind with
+    | Kind.Jolteon | Kind.Hotstuff -> 3
+    | _ -> if full then 3 else 2
+  in
+  let timer_budget = if full then 3 else 1 in
+  Checker.config ~n:4 ~view_bound ~timer_budget ()
+
+let run_one ~jobs kind cfg =
+  let t0 = Unix.gettimeofday () in
+  let report = Checker.check ~jobs kind cfg in
+  { name = Kind.name kind; wall_s = Unix.gettimeofday () -. t0; report }
+
+let print_table rows =
+  Format.printf "@.%-20s %10s %10s %8s %9s %7s %6s@." "protocol" "states"
+    "states/s" "pruning" "depth<=" "commits" "wall";
+  List.iter
+    (fun r ->
+      let s = r.report.Mc_report.stats in
+      Format.printf "%-20s %10d %10.0f %7.0f%% %9d %7d %5.1fs@." r.name
+        s.Mc_report.states_visited (states_per_sec r)
+        (100. *. Mc_report.pruning_ratio s)
+        s.Mc_report.max_depth_seen r.report.Mc_report.max_committed r.wall_s)
+    rows
+
+let write_json ~jobs ~path rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "{\n";
+  Printf.bprintf b "  \"schema\": \"bench_mc/v1\",\n";
+  Printf.bprintf b "  \"jobs\": %d,\n" jobs;
+  Buffer.add_string b "  \"worlds\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      let s = r.report.Mc_report.stats in
+      Printf.bprintf b
+        "    {\"name\": %S, \"states\": %d, \"transitions\": %d, \
+         \"sleep_skips\": %d, \"pruning_ratio\": %.4f, \"max_depth\": %d, \
+         \"exhausted\": %b, \"max_committed\": %d, \"violations\": %d, \
+         \"deadlocks\": %d, \"wall_clock_s\": %.3f, \"states_per_sec\": %.0f}"
+        r.name s.Mc_report.states_visited s.Mc_report.transitions
+        s.Mc_report.sleep_skips
+        (Mc_report.pruning_ratio s)
+        s.Mc_report.max_depth_seen s.Mc_report.exhausted
+        r.report.Mc_report.max_committed
+        (List.length r.report.Mc_report.violations)
+        r.report.Mc_report.deadlocks r.wall_s (states_per_sec r))
+    rows;
+  Buffer.add_string b "\n  ]\n}\n";
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Buffer.contents b));
+  Format.printf "@.wrote %s: %d worlds@." path (List.length rows)
+
+let guard r =
+  if r.report.Mc_report.violations <> [] then
+    failwith
+      (Format.asprintf "mc bench: %s has violations:@.%a" r.name Mc_report.pp
+         r.report);
+  if not r.report.Mc_report.stats.Mc_report.exhausted then
+    failwith (Printf.sprintf "mc bench: %s did not exhaust its bound" r.name);
+  if r.report.Mc_report.deadlocks <> 0 then
+    failwith (Printf.sprintf "mc bench: %s has deadlocked branches" r.name)
+
+let run ~jobs ~full () =
+  Format.printf "model checker: n=4 exhaustive worlds%s@."
+    (if full then " (full scale, view bound 3)" else "");
+  let rows =
+    List.map (fun kind -> run_one ~jobs kind (world ~full kind)) Kind.all
+  in
+  List.iter guard rows;
+  print_table rows;
+  write_json ~jobs ~path:"BENCH_mc.json" rows
+
+(* Sub-second: one Moonshot world at view 1 (reduction machinery, no
+   commits reachable) and the two chained protocols at view 3 (commits,
+   timers, the full invariant set). *)
+let smoke () =
+  let rows =
+    [
+      run_one ~jobs:1 Kind.Simple_moonshot
+        (Checker.config ~n:4 ~view_bound:1 ~timer_budget:1 ());
+      run_one ~jobs:1 Kind.Jolteon
+        (Checker.config ~n:4 ~view_bound:3 ~timer_budget:1 ());
+      run_one ~jobs:1 Kind.Hotstuff
+        (Checker.config ~n:4 ~view_bound:3 ~timer_budget:1 ());
+    ]
+  in
+  List.iter guard rows;
+  List.iter
+    (fun r ->
+      if r.name <> "simple-moonshot" && r.report.Mc_report.max_committed = 0
+      then failwith (Printf.sprintf "mc smoke: %s never committed" r.name))
+    rows;
+  print_table rows

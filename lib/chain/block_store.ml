@@ -53,6 +53,8 @@ let descendants t h =
   in
   gather [] h
 
+let fold f t init = Hashtbl.fold (fun _ b acc -> f b acc) t.blocks init
+
 let chain_to t (b : Block.t) =
   let rec walk acc (b : Block.t) =
     if Block.is_genesis b then Some (b :: acc)

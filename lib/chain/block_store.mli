@@ -32,3 +32,7 @@ val descendants : t -> Hash.t -> Block.t list
 (** The chain from genesis to [b] inclusive, oldest first.  [None] when an
     ancestor is missing. *)
 val chain_to : t -> Block.t -> Block.t list option
+
+(** Fold over every stored block (genesis included) in {e unspecified}
+    order; digest builders must combine per-block terms commutatively. *)
+val fold : (Block.t -> 'acc -> 'acc) -> t -> 'acc -> 'acc

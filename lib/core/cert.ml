@@ -20,6 +20,18 @@ let equal_id a b =
   && Vote_kind.equal a.kind b.kind
   && Block.equal a.block b.block
 
+(* Signers are deliberately excluded: digest equality must coincide with
+   {!equal_id}, the relation every dedup site uses, or the model checker
+   would distinguish states that the protocol itself cannot tell apart. *)
+let digest t =
+  Hash.of_fields
+    [
+      0x43L;
+      Int64.of_int (Vote_kind.to_tag t.kind);
+      Int64.of_int t.view;
+      Hash.to_int64 t.block.Block.hash;
+    ]
+
 let certifies_parent_of t b = Block.extends_hash b ~parent_hash:t.block.Block.hash
 let wire_size t = Wire_size.certificate ~signers:t.signers
 

@@ -32,6 +32,11 @@ val rank_gt : t -> t -> bool
 (** Identity: same view, kind and certified block. *)
 val equal_id : t -> t -> bool
 
+(** Canonical digest for model-checker state hashing.  Consistent with
+    {!equal_id}: the signer count does not participate, so two certificates
+    the protocol deduplicates as identical digest identically. *)
+val digest : t -> Bft_types.Hash.t
+
 (** [certifies_parent_of t b] is true when [b] directly extends the block
     certified by [t]. *)
 val certifies_parent_of : t -> Block.t -> bool

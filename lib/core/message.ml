@@ -88,6 +88,43 @@ let view_of = function
   | Tc_gossip tc -> Some tc.Tc.view
   | Block_request _ | Blocks_response _ -> None
 
+let digest =
+  let h = Hash.to_int64 in
+  let bh (b : Block.t) = h b.Block.hash in
+  function
+  | Opt_propose { block } -> Hash.of_fields [ 1L; bh block ]
+  | Propose { block; cert } ->
+      Hash.of_fields [ 2L; bh block; h (Cert.digest cert) ]
+  | Fb_propose { block; cert; tc } ->
+      Hash.of_fields [ 3L; bh block; h (Cert.digest cert); h (Tc.digest tc) ]
+  | Vote { kind; block } ->
+      Hash.of_fields [ 4L; Int64.of_int (Vote_kind.to_tag kind); bh block ]
+  | Timeout { view; lock } ->
+      let l = match lock with None -> Hash.null | Some c -> Cert.digest c in
+      Hash.of_fields [ 5L; Int64.of_int view; h l ]
+  | Cert_gossip c -> Hash.of_fields [ 6L; h (Cert.digest c) ]
+  | Tc_gossip tc -> Hash.of_fields [ 7L; h (Tc.digest tc) ]
+  | Status { view; lock } ->
+      Hash.of_fields [ 8L; Int64.of_int view; h (Cert.digest lock) ]
+  | Commit_vote { view; block } ->
+      Hash.of_fields [ 9L; Int64.of_int view; bh block ]
+  | Block_request { hash } -> Hash.of_fields [ 10L; h hash ]
+  | Blocks_response { blocks } -> Hash.of_fields (11L :: List.map bh blocks)
+
+(* A correct node fills the opt slot at most once per view and the main
+   slot (normal and fallback votes share it) at most once per view; the
+   model checker flags two differently-digested messages in the same slot
+   as a double vote.  Commit votes are excluded: a node may legitimately
+   commit-vote distinct certified blocks of one view (opt + fallback). *)
+let vote_slot = function
+  | Vote { kind = Vote_kind.Opt; block } -> Some (block.Block.view, 0)
+  | Vote { kind = Vote_kind.Normal | Vote_kind.Fallback; block } ->
+      Some (block.Block.view, 1)
+  | Opt_propose _ | Propose _ | Fb_propose _ | Timeout _ | Cert_gossip _
+  | Tc_gossip _ | Status _ | Commit_vote _ | Block_request _
+  | Blocks_response _ ->
+      None
+
 let pp ppf = function
   | Opt_propose { block } -> Format.fprintf ppf "opt-propose(%a)" Block.pp block
   | Propose { block; cert } ->

@@ -47,4 +47,16 @@ val classify : t -> [ `Proposal | `Vote | `Timeout | `Other ]
     for per-view message/byte accounting in traces. *)
 val view_of : t -> int option
 
+(** Canonical content digest for model-checker state hashing and in-flight
+    message deduplication.  Two messages digest equally iff the protocol
+    treats them identically (certificate signer counts excluded, matching
+    {!Cert.equal_id}). *)
+val digest : t -> Hash.t
+
+(** The uniqueness slot a message occupies, if any: [(view, 0)] for
+    optimistic votes, [(view, 1)] for normal/fallback votes (a correct node
+    fills each slot at most once per view — {!Safety_rules}).  [None] for
+    everything else. *)
+val vote_slot : t -> (int * int) option
+
 val pp : Format.formatter -> t -> unit

@@ -138,6 +138,53 @@ let first_missing t =
   in
   List.find_map probe t.deferred_commits
 
+(* Hashtable-backed pieces (store, vote accumulator, cert table) combine
+   per-entry digests with addition so the result is independent of
+   iteration order; ordered pieces (commit log, per-view cert lists,
+   deferred list) hash as sequences. *)
+let state_hash t =
+  let h = Hash.to_int64 in
+  let bh (b : Block.t) = h b.Block.hash in
+  let store_h =
+    Block_store.fold (fun b acc -> Int64.add acc (bh b)) t.store 0L
+  in
+  let log_h = Hash.of_fields (List.map bh (Commit_log.to_list t.log)) in
+  let votes_h =
+    Bft_crypto.Accumulator.fold
+      (fun (view, tag, bkey) ~signers ~complete acc ->
+        (* Once complete, extra signers are behaviorally inert (the
+           certificate is already out; late votes only feed dedup), so they
+           are excluded — post-quorum vote-arrival orders collapse. *)
+        Int64.add acc
+          (h
+             (Hash.of_fields
+                (Int64.of_int view :: Int64.of_int tag :: Int64.of_int bkey
+                ::
+                (if complete then [ 1L ]
+                 else 0L :: List.map Int64.of_int signers)))))
+      t.votes 0L
+  in
+  let certs_h =
+    Hashtbl.fold
+      (fun view certs acc ->
+        Int64.add acc
+          (h
+             (Hash.of_fields
+                (Int64.of_int view
+                :: List.map (fun c -> h (Cert.digest c)) certs))))
+      t.certs_by_view 0L
+  in
+  let deferred_h = Hash.of_fields (List.map bh t.deferred_commits) in
+  Hash.of_fields
+    [
+      store_h;
+      h log_h;
+      votes_h;
+      certs_h;
+      h deferred_h;
+      h (Cert.digest t.high_cert);
+    ]
+
 let chain_segment t hash ~max =
   match Block_store.find t.store hash with
   | None -> []

@@ -65,3 +65,9 @@ val first_missing : 'msg t -> (Hash.t * int) option
     [max - 1] of its ancestors present in the store, oldest first; [[]]
     when the block itself is unknown. *)
 val chain_segment : 'msg t -> Hash.t -> max:int -> Block.t list
+
+(** Canonical digest of the shared state (store, commit log, vote
+    accumulator, certificate table, high certificate, deferred commits)
+    for model-checker state matching.  Independent of hashtable iteration
+    order. *)
+val state_hash : 'msg t -> Hash.t

@@ -445,6 +445,114 @@ let start t =
       persist t
   | Some None | None -> advance_to t 1 Via_start
 
+(* --- model-checker support ----------------------------------------------- *)
+
+let pending_digest =
+  let h = Hash.to_int64 in
+  function
+  | P_opt b -> h (Hash.of_fields [ 1L; h b.Block.hash ])
+  | P_normal (b, c) ->
+      h (Hash.of_fields [ 2L; h b.Block.hash; h (Cert.digest c) ])
+  | P_fallback (b, c, tc) ->
+      h
+        (Hash.of_fields
+           [ 3L; h b.Block.hash; h (Cert.digest c); h (Tc.digest tc) ])
+
+(* Hashtable-keyed pieces combine per-entry digests with addition
+   (iteration-order independent); everything else hashes as a sequence.
+   Timer state lives in the engine and is digested by the checker. *)
+let state_hash t =
+  let h = Hash.to_int64 in
+  let table_h tbl per_entry =
+    Hashtbl.fold (fun k v acc -> Int64.add acc (per_entry k v)) tbl 0L
+  in
+  let aggs_h =
+    table_h t.timeout_aggs (fun view (e : tmo_entry) ->
+        (* Signers are inert once the TC formed — see Node_core.state_hash. *)
+        h
+          (Hash.of_fields
+             (Int64.of_int view
+             :: (match e.high with
+                | None -> 0L
+                | Some c -> h (Cert.digest c))
+             :: (if e.amplified then 1L else 0L)
+             ::
+             (if e.tc_formed then [ 1L ]
+              else
+                0L
+                :: List.map Int64.of_int
+                     (Bft_crypto.Signer_set.to_list e.signers)))))
+  in
+  let commit_votes_h =
+    Bft_crypto.Accumulator.fold
+      (fun (view, bkey) ~signers ~complete acc ->
+        Int64.add acc
+          (h
+             (Hash.of_fields
+                (Int64.of_int view :: Int64.of_int bkey
+                ::
+                (if complete then [ 1L ]
+                 else 0L :: List.map Int64.of_int signers)))))
+      t.commit_votes 0L
+  in
+  let tcs_h =
+    table_h t.tcs (fun view tc ->
+        h (Hash.of_fields [ Int64.of_int view; h (Tc.digest tc) ]))
+  in
+  let pending_h =
+    table_h t.pending (fun view items ->
+        h (Hash.of_fields (Int64.of_int view :: List.map pending_digest items)))
+  in
+  let timeout_sent_h =
+    table_h t.timeout_sent (fun view () -> Int64.of_int (view + 1))
+  in
+  let commit_voted_h =
+    table_h t.commit_voted (fun _ (b : Block.t) -> h b.Block.hash)
+  in
+  Hash.of_fields
+    [
+      h (Node_core.state_hash t.core);
+      h (Sync.state_hash (sync t));
+      Int64.of_int t.opt_proposed_view;
+      aggs_h;
+      commit_votes_h;
+      tcs_h;
+      pending_h;
+      timeout_sent_h;
+      commit_voted_h;
+      Int64.of_int t.cur_view;
+      h (Cert.digest t.lock);
+      Int64.of_int t.timeout_view;
+      (match t.voted_opt with None -> 0L | Some b -> h b.Block.hash);
+      (if t.voted_main then 1L else 0L);
+    ]
+
+(* Every mutation of a safety slot persists in the same synchronous step,
+   so between handler runs the WAL's latest record must mirror memory. *)
+let wal_consistent t =
+  match t.wal with
+  | None -> true
+  | Some wal -> (
+      match Wal.load wal with
+      | None -> t.cur_view = 0
+      | Some s ->
+          s.Wal.cur_view = t.cur_view
+          && Cert.equal_id s.Wal.lock t.lock
+          && s.Wal.timeout_view = t.timeout_view
+          && Option.equal Block.equal s.Wal.voted_opt t.voted_opt
+          && s.Wal.voted_main = t.voted_main)
+
+module Mc = struct
+  let msg_digest = Message.digest
+  let pp_msg = Message.pp
+  let vote_slot = Message.vote_slot
+  let state_hash = state_hash
+  let current_view = current_view
+  let lock_view t = t.lock.Cert.view
+  let wal_hash = Wal.digest
+  let wal_consistent = wal_consistent
+end
+
 module Protocol = struct
   type msg = Message.t
 
@@ -463,6 +571,8 @@ module Protocol = struct
 
   let start = start
   let handle = handle
+
+  include Mc
 end
 
 module Commit_protocol = struct
@@ -483,6 +593,8 @@ module Commit_protocol = struct
 
   let start = start
   let handle = handle
+
+  include Mc
 end
 
 module Lso_protocol = struct
@@ -501,4 +613,6 @@ module Lso_protocol = struct
   let create ?(equivocate = false) ?wal env = create ~lso:true ~equivocate ?wal env
   let start = start
   let handle = handle
+
+  include Mc
 end

@@ -334,6 +334,87 @@ let start t =
       persist t
   | Some None | None -> advance_to t 1 Via_start
 
+(* --- model-checker support ----------------------------------------------- *)
+
+let pending_digest = function
+  | P_opt b -> Hash.to_int64 (Hash.of_fields [ 1L; Hash.to_int64 b.Block.hash ])
+  | P_normal (b, c) ->
+      Hash.to_int64
+        (Hash.of_fields
+           [ 2L; Hash.to_int64 b.Block.hash; Hash.to_int64 (Cert.digest c) ])
+
+let via_digest = function
+  | Via_cert c -> Hash.to_int64 (Hash.of_fields [ 1L; Hash.to_int64 (Cert.digest c) ])
+  | Via_tc tc -> Hash.to_int64 (Hash.of_fields [ 2L; Hash.to_int64 (Tc.digest tc) ])
+  | Via_start -> 3L
+  | Via_recovery -> 4L
+
+(* Hashtable-keyed pieces combine per-entry digests with addition
+   (iteration-order independent); everything else hashes as a sequence.
+   Timer state lives in the engine and is digested by the checker. *)
+let state_hash t =
+  let h = Hash.to_int64 in
+  let aggs_h =
+    Hashtbl.fold
+      (fun view (e : tmo_entry) acc ->
+        (* Signers are inert once the TC formed (late timeouts only feed
+           dedup) — excluding them collapses post-quorum arrival orders. *)
+        Int64.add acc
+          (h
+             (Hash.of_fields
+                (Int64.of_int view
+                ::
+                (if e.tc_formed then [ 1L ]
+                 else
+                   0L
+                   :: List.map Int64.of_int
+                        (Bft_crypto.Signer_set.to_list e.signers))))))
+      t.timeout_aggs 0L
+  in
+  let tcs_h =
+    Hashtbl.fold
+      (fun view tc acc ->
+        Int64.add acc
+          (h (Hash.of_fields [ Int64.of_int view; h (Tc.digest tc) ])))
+      t.tcs 0L
+  in
+  let pending_h =
+    Hashtbl.fold
+      (fun view items acc ->
+        Int64.add acc
+          (h (Hash.of_fields (Int64.of_int view :: List.map pending_digest items))))
+      t.pending 0L
+  in
+  Hash.of_fields
+    [
+      h (Node_core.state_hash t.core);
+      h (Sync.state_hash (sync t));
+      aggs_h;
+      tcs_h;
+      pending_h;
+      Int64.of_int t.cur_view;
+      via_digest t.entered_via;
+      h (Cert.digest t.lock);
+      (if t.voted then 1L else 0L);
+      (if t.timed_out then 1L else 0L);
+      (if t.proposed then 1L else 0L);
+    ]
+
+(* Every mutation of a safety slot persists in the same synchronous step,
+   so between handler runs the WAL's latest record must mirror memory. *)
+let wal_consistent t =
+  match t.wal with
+  | None -> true
+  | Some wal -> (
+      match Wal.load wal with
+      | None -> t.cur_view = 0
+      | Some s ->
+          s.Wal.cur_view = t.cur_view
+          && Cert.equal_id s.Wal.lock t.lock
+          && s.Wal.timeout_view = (if t.timed_out then t.cur_view else 0)
+          && s.Wal.voted_opt = None
+          && s.Wal.voted_main = t.voted)
+
 module Protocol = struct
   type msg = Message.t
 
@@ -349,4 +430,12 @@ module Protocol = struct
   let create ?(equivocate = false) ?wal env = create ~equivocate ?wal env
   let start = start
   let handle = handle
+  let msg_digest = Message.digest
+  let pp_msg = Message.pp
+  let vote_slot = Message.vote_slot
+  let state_hash = state_hash
+  let current_view = current_view
+  let lock_view t = t.lock.Cert.view
+  let wal_hash = Wal.digest
+  let wal_consistent = wal_consistent
 end

@@ -27,6 +27,22 @@ let create ~core ~env ~make_request ~make_response =
 
 let requests_sent t = t.requests_sent
 
+(* Wall-clock values (the last request's send time) and the request counter
+   are excluded: the model checker runs on a logical clock, and including
+   real times would make behaviourally equivalent states digest apart.
+   This abstracts the [recently_asked] rate limit — a documented, safe
+   over-approximation (it can only make the checker explore more). *)
+let state_hash t =
+  Hash.of_fields
+    [
+      (match t.last_request with
+      | None -> 0L
+      | Some (k, _) ->
+          Hash.to_int64 (Hash.of_fields [ 1L; Int64.of_int k ]));
+      Int64.of_int t.attempt;
+      (if t.timer_alive then 1L else 0L);
+    ]
+
 (* Pick a target: the hinted proposer first, then rotate through the other
    peers (excluding ourselves) on each retry. *)
 let target t ~hint =

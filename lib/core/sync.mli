@@ -41,3 +41,9 @@ val handle_response : 'msg t -> Block.t list -> unit
 
 (** Number of sync requests sent (introspection for tests). *)
 val requests_sent : 'msg t -> int
+
+(** Canonical digest of the synchronizer's control state for model-checker
+    state matching.  The last request's send time and the request counter
+    are excluded (wall-clock values and statistics; see the implementation
+    note on the [recently_asked] abstraction). *)
+val state_hash : 'msg t -> Hash.t

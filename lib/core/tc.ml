@@ -10,6 +10,14 @@ let make ~view ~high_cert ~signers =
 let high_cert_view t =
   match t.high_cert with None -> -1 | Some c -> c.Cert.view
 
+(* Signers excluded for the same reason as {!Cert.digest}: nodes keep at
+   most one TC per view, so the signer multiset never influences behaviour. *)
+let digest t =
+  let high =
+    match t.high_cert with None -> Hash.null | Some c -> Cert.digest c
+  in
+  Hash.of_fields [ 0x54L; Int64.of_int t.view; Hash.to_int64 high ]
+
 (* Per aggregated timeout: signature + node id + view + claimed lock rank
    (view + block hash). *)
 let per_timeout =

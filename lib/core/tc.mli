@@ -23,5 +23,9 @@ val make : view:int -> high_cert:Cert.t option -> signers:int -> t
 (** Rank of the highest embedded certificate; [-1] when none. *)
 val high_cert_view : t -> int
 
+(** Canonical digest for model-checker state hashing (view and the embedded
+    certificate's {!Cert.digest}; signers excluded). *)
+val digest : t -> Bft_types.Hash.t
+
 val wire_size : t -> int
 val pp : Format.formatter -> t -> unit

@@ -41,3 +41,9 @@ let is_complete t key =
   match Hashtbl.find_opt t.table key with
   | None -> false
   | Some e -> e.complete
+
+let fold f t init =
+  Hashtbl.fold
+    (fun key e acc ->
+      f key ~signers:(Signer_set.to_list e.signers) ~complete:e.complete acc)
+    t.table init

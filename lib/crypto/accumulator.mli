@@ -25,3 +25,13 @@ val add : 'k t -> 'k -> signer:int -> outcome
 
 val count : 'k t -> 'k -> int
 val is_complete : 'k t -> 'k -> bool
+
+(** Fold over every key with at least one contribution.  [signers] is in
+    ascending order; entry iteration order is {e unspecified} (hashtable
+    order), so callers building digests must combine entries with a
+    commutative operation. *)
+val fold :
+  ('k -> signers:int list -> complete:bool -> 'acc -> 'acc) ->
+  'k t ->
+  'acc ->
+  'acc

@@ -24,4 +24,12 @@ module Protocol = struct
   let create ?(equivocate = false) ?wal env = create ~equivocate ?wal env
   let start = start
   let handle = handle
+  let msg_digest = Jolteon.Jolteon_msg.digest
+  let pp_msg = Jolteon.Jolteon_msg.pp
+  let vote_slot = Jolteon.Jolteon_msg.vote_slot
+  let state_hash = Jolteon.Jolteon_node.Protocol.state_hash
+  let current_view = Jolteon.Jolteon_node.Protocol.current_view
+  let lock_view = Jolteon.Jolteon_node.Protocol.lock_view
+  let wal_hash = Moonshot.Wal.digest
+  let wal_consistent = Jolteon.Jolteon_node.Protocol.wal_consistent
 end

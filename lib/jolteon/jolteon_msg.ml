@@ -52,6 +52,28 @@ let view_of = function
   | Timeout { round; _ } -> Some round
   | Block_request _ | Blocks_response _ -> None
 
+let digest =
+  let h = Hash.to_int64 in
+  let bh (b : Block.t) = h b.Block.hash in
+  function
+  | Propose { block; qc; tc } ->
+      let tc_d =
+        match tc with None -> Hash.null | Some t -> Moonshot.Tc.digest t
+      in
+      Hash.of_fields [ 1L; bh block; h (Moonshot.Cert.digest qc); h tc_d ]
+  | Vote { block } -> Hash.of_fields [ 2L; bh block ]
+  | Timeout { round; high_qc } ->
+      Hash.of_fields
+        [ 3L; Int64.of_int round; h (Moonshot.Cert.digest high_qc) ]
+  | Block_request { hash } -> Hash.of_fields [ 4L; h hash ]
+  | Blocks_response { blocks } -> Hash.of_fields (5L :: List.map bh blocks)
+
+(* One vote per round ([last_voted_round]); slot index 1 lines up with
+   Moonshot's main-vote slot so checker reports read uniformly. *)
+let vote_slot = function
+  | Vote { block } -> Some (block.Block.view, 1)
+  | Propose _ | Timeout _ | Block_request _ | Blocks_response _ -> None
+
 let pp ppf = function
   | Propose { block; qc; tc } ->
       Format.fprintf ppf "j-propose(%a, %a, tc=%b)" Block.pp block

@@ -39,4 +39,12 @@ val classify : t -> [ `Proposal | `Vote | `Timeout | `Other ]
     for per-view message/byte accounting in traces. *)
 val view_of : t -> int option
 
+(** Canonical content digest for model-checker state hashing (signer
+    counts excluded, as in {!Moonshot.Message.digest}). *)
+val digest : t -> Hash.t
+
+(** [(round, 1)] for votes — a correct replica votes at most once per round
+    — and [None] for everything else. *)
+val vote_slot : t -> (int * int) option
+
 val pp : Format.formatter -> t -> unit

@@ -313,6 +313,85 @@ let start t =
       persist t
   | Some None | None -> advance_to t 1 Via_start
 
+(* --- model-checker support ----------------------------------------------- *)
+
+(* Hashtable-keyed pieces combine per-entry digests with addition
+   (iteration-order independent); everything else hashes as a sequence.
+   Timer state lives in the engine and is digested by the checker. *)
+let state_hash t =
+  let h = Hash.to_int64 in
+  let table_h tbl per_entry =
+    Hashtbl.fold (fun k v acc -> Int64.add acc (per_entry k v)) tbl 0L
+  in
+  let aggs_h =
+    table_h t.timeout_aggs (fun round (e : tmo_entry) ->
+        (* Signers are inert once the TC formed — see Node_core.state_hash. *)
+        h
+          (Hash.of_fields
+             (Int64.of_int round
+             :: h (Cert.digest e.high)
+             :: (if e.amplified then 1L else 0L)
+             ::
+             (if e.tc_formed then [ 1L ]
+              else
+                0L
+                :: List.map Int64.of_int
+                     (Bft_crypto.Signer_set.to_list e.signers)))))
+  in
+  let tcs_h =
+    table_h t.tcs (fun round tc ->
+        h (Hash.of_fields [ Int64.of_int round; h (Tc.digest tc) ]))
+  in
+  let pending_h =
+    table_h t.pending (fun round items ->
+        h
+          (Hash.of_fields
+             (Int64.of_int round
+             :: List.map
+                  (fun (P (b, qc, tc)) ->
+                    h
+                      (Hash.of_fields
+                         [
+                           h b.Block.hash;
+                           h (Cert.digest qc);
+                           (match tc with
+                           | None -> 0L
+                           | Some tc' -> h (Tc.digest tc'));
+                         ]))
+                  items)))
+  in
+  let timeout_sent_h =
+    table_h t.timeout_sent (fun round () -> Int64.of_int (round + 1))
+  in
+  Hash.of_fields
+    [
+      h (Node_core.state_hash t.core);
+      h (Moonshot.Sync.state_hash (sync t));
+      aggs_h;
+      tcs_h;
+      pending_h;
+      timeout_sent_h;
+      Int64.of_int t.cur_round;
+      Int64.of_int t.last_voted_round;
+      Int64.of_int t.timeout_round;
+    ]
+
+(* The WAL's lock slot may lag the in-memory high QC: [observe_qc] records
+   certificates without persisting when no round advance follows.  Recovery
+   tolerates that (the synchronizer and peers re-supply newer QCs), so the
+   invariant is only that memory never falls behind the log. *)
+let wal_consistent t =
+  match t.wal with
+  | None -> true
+  | Some wal -> (
+      match Wal.load wal with
+      | None -> t.cur_round = 0
+      | Some s ->
+          s.Wal.cur_view = t.cur_round
+          && Cert.rank_geq (Node_core.high_cert t.core) s.Wal.lock
+          && s.Wal.timeout_view = t.timeout_round
+          && s.Wal.voted_main = (t.last_voted_round >= t.cur_round))
+
 module Protocol = struct
   type msg = Jolteon_msg.t
 
@@ -328,4 +407,12 @@ module Protocol = struct
   let create ?(equivocate = false) ?wal env = create ~equivocate ?wal env
   let start = start
   let handle = handle
+  let msg_digest = Jolteon_msg.digest
+  let pp_msg = Jolteon_msg.pp
+  let vote_slot = Jolteon_msg.vote_slot
+  let state_hash = state_hash
+  let current_view = current_round
+  let lock_view t = (Node_core.high_cert t.core).Cert.view
+  let wal_hash = Wal.digest
+  let wal_consistent = wal_consistent
 end

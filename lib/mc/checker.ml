@@ -1,0 +1,775 @@
+open Bft_types
+module Engine = Bft_sim.Engine
+module Trace = Bft_obs.Trace
+
+type config = {
+  n : int;
+  delta : float;
+  view_bound : int;
+  max_depth : int;
+  timer_budget : int;
+  reorder_window : int;
+  equivocators : int list;
+  faults : Mc_schedule.step list;
+  payload_bytes : int;
+}
+
+let config ?(delta = 10.) ?(max_depth = 128) ?(timer_budget = 4)
+    ?(reorder_window = 1) ?(equivocators = []) ?(faults = [])
+    ?(payload_bytes = 0) ~n ~view_bound () =
+  if n < 1 then invalid_arg "Checker.config: n < 1";
+  if view_bound < 1 then invalid_arg "Checker.config: view_bound < 1";
+  if max_depth < 1 then invalid_arg "Checker.config: max_depth < 1";
+  if timer_budget < 0 then invalid_arg "Checker.config: timer_budget < 0";
+  if reorder_window < 1 then invalid_arg "Checker.config: reorder_window < 1";
+  List.iter
+    (fun i ->
+      if i < 0 || i >= n then invalid_arg "Checker.config: equivocator out of range")
+    equivocators;
+  {
+    n;
+    delta;
+    view_bound;
+    max_depth;
+    timer_budget;
+    reorder_window;
+    equivocators;
+    faults;
+    payload_bytes;
+  }
+
+module Make (P : Protocol_intf.S) = struct
+  (* The protocol nodes are mutable and unclonable, so exploration is
+     stateless: every frontier path is replayed from a fresh world.  A world
+     owns the engine (capture hook installed), the nodes, their WALs, and
+     the checker's own bookkeeping — the message pool, captured timers, the
+     fault cursor and the invariant tables. *)
+
+  type msg_entry = {
+    e_src : int;
+    e_dst : int;
+    e_digest : int64;
+    e_seq : int;  (** global capture order — ranks a destination's arrivals *)
+    e_ev : P.msg Engine.pending;
+  }
+
+  type timer_entry = {
+    t_owner : int;
+    t_idx : int;  (** per-owner capture sequence — deterministic per path *)
+    t_ev : P.msg Engine.pending;
+    mutable t_fired : bool;
+  }
+
+  type world = {
+    cfg : config;
+    engine : P.msg Engine.t;
+    nodes : P.node option array;  (** [None] while crashed *)
+    wals : P.wal array;
+    channels : msg_entry Queue.t array;
+        (** [dst * n + src]: FIFO per ordered node pair.  Only each
+            channel's head is deliverable — delivery orders are explored
+            exhaustively {e across} channels, in-order {e within} one.
+            Identical undelivered copies merge (a retransmission of
+            already-delivered content enqueues again). *)
+    mutable timers : timer_entry list;
+    timer_seq : int array;
+    sync_q : P.msg Engine.pending Queue.t;
+        (** self-deliveries and thunks — run synchronously, FIFO *)
+    mutable partition : int list list option;
+    mutable fault_idx : int;
+    timers_fired : int array;  (** per node, reset at each fault step *)
+    mutable steps : int;  (** actions executed along this path *)
+    mutable capture_seq : int;
+    commits : (int, int64) Hashtbl.t;  (** height -> block hash, across all nodes *)
+    mutable commits_total : int;
+    lock_floor : int array;
+    vote_slots : (int * int * int, int64) Hashtbl.t;
+        (** (src, view, slot) -> digest of the first vote seen there *)
+    mutable violations : (Mc_report.violation_kind * string) list;
+    trace : Trace.t option;
+  }
+
+  let add_violation w kind detail = w.violations <- (kind, detail) :: w.violations
+
+  let group_of groups i =
+    let rec find k = function
+      | [] -> -1 (* implicit extra group *)
+      | g :: rest -> if List.mem i g then k else find (k + 1) rest
+    in
+    find 0 groups
+
+  let cut w ~src ~dst =
+    match w.partition with
+    | None -> false
+    | Some groups -> group_of groups src <> group_of groups dst
+
+  (* Double-vote detection runs at capture time: every message an honest
+     node hands to the network passes here, including copies the scheduler
+     later chooses never to deliver. *)
+  let check_vote w ~src msg =
+    if not (List.mem src w.cfg.equivocators) then
+      match P.vote_slot msg with
+      | None -> ()
+      | Some (view, slot) -> (
+          let d = Hash.to_int64 (P.msg_digest msg) in
+          match Hashtbl.find_opt w.vote_slots (src, view, slot) with
+          | None -> Hashtbl.replace w.vote_slots (src, view, slot) d
+          | Some d' when Int64.equal d d' -> ()
+          | Some _ ->
+              add_violation w Mc_report.Double_vote
+                (Format.asprintf "node %d sent two distinct votes for (view %d, slot %d): %a"
+                   src view slot P.pp_msg msg))
+
+  let capture w ev =
+    match Engine.inspect ev with
+    | Engine.Pending_task -> Queue.add ev w.sync_q
+    | Engine.Pending_timer { owner } ->
+        let o = if owner < 0 then 0 else owner in
+        let idx = w.timer_seq.(o) in
+        w.timer_seq.(o) <- idx + 1;
+        w.timers <- { t_owner = owner; t_idx = idx; t_ev = ev; t_fired = false } :: w.timers
+    | Engine.Pending_message { src; dst; msg } ->
+        check_vote w ~src msg;
+        if src = dst then Queue.add ev w.sync_q
+        else if cut w ~src ~dst then ()
+        else
+          let q = w.channels.((dst * w.cfg.n) + src) in
+          let d = Hash.to_int64 (P.msg_digest msg) in
+          let dup =
+            Queue.fold
+              (fun acc e ->
+                acc
+                || (Int64.equal e.e_digest d && Engine.pending_live w.engine e.e_ev))
+              false q
+          in
+          if not dup then begin
+            w.capture_seq <- w.capture_seq + 1;
+            Queue.add
+              { e_src = src; e_dst = dst; e_digest = d; e_seq = w.capture_seq; e_ev = ev }
+              q
+          end
+
+  let env_of w id : P.msg Env.t =
+    let n = w.cfg.n in
+    {
+      Env.id;
+      validators = Validator_set.make n;
+      delta = w.cfg.delta;
+      now = (fun () -> Engine.now w.engine);
+      send = (fun dst msg -> Engine.send w.engine ~src:id ~dst msg);
+      multicast = (fun msg -> Engine.multicast w.engine ~src:id msg);
+      set_timer = (fun delay f -> Engine.set_timer ~owner:id w.engine delay f);
+      leader_of = (fun view -> ((view - 1) mod n + n) mod n);
+      make_payload =
+        (fun ~view -> Payload.make ~id:view ~size_bytes:w.cfg.payload_bytes);
+      on_commit =
+        (fun b ->
+          w.commits_total <- w.commits_total + 1;
+          (match w.trace with
+          | None -> ()
+          | Some sink ->
+              Trace.emit sink
+                {
+                  Trace.time = Engine.now w.engine;
+                  node = id;
+                  kind = Trace.Committed { view = b.Block.view; height = b.Block.height };
+                });
+          let h = Hash.to_int64 b.Block.hash in
+          match Hashtbl.find_opt w.commits b.Block.height with
+          | None -> Hashtbl.replace w.commits b.Block.height h
+          | Some h' when Int64.equal h h' -> ()
+          | Some _ ->
+              add_violation w Mc_report.Conflicting_commits
+                (Format.asprintf "node %d committed %a at height %d, conflicting with an earlier commit"
+                   id Block.pp b b.Block.height));
+      on_propose = (fun _ -> ());
+      probe =
+        (match w.trace with
+        | None -> None
+        | Some sink ->
+            Some
+              (fun pe ->
+                Trace.emit sink
+                  { Trace.time = Engine.now w.engine; node = id; kind = Trace.Node_event pe }));
+    }
+
+  let spawn_node w id =
+    let node =
+      P.create
+        ~equivocate:(List.mem id w.cfg.equivocators)
+        ~wal:w.wals.(id) (env_of w id)
+    in
+    Engine.set_handler w.engine id (P.handle node);
+    w.nodes.(id) <- Some node;
+    node
+
+  let rec drain w =
+    match Queue.take_opt w.sync_q with
+    | None -> ()
+    | Some ev ->
+        Engine.dispatch w.engine ev;
+        drain w
+
+  let make_world ?trace cfg =
+    let network =
+      Bft_sim.Network.make
+        ~latency:(Bft_sim.Latency.Uniform { base = cfg.delta /. 2.; jitter = 0. })
+        ~delta:cfg.delta ()
+    in
+    let engine = Engine.create ~n:cfg.n ~network ~seed:0 ~msg_size:P.msg_size () in
+    let w =
+      {
+        cfg;
+        engine;
+        nodes = Array.make cfg.n None;
+        wals = Array.init cfg.n (fun _ -> P.wal_create ());
+        channels = Array.init (cfg.n * cfg.n) (fun _ -> Queue.create ());
+        timers = [];
+        timer_seq = Array.make cfg.n 0;
+        sync_q = Queue.create ();
+        partition = None;
+        fault_idx = 0;
+        timers_fired = Array.make cfg.n 0;
+        steps = 0;
+        capture_seq = 0;
+        commits = Hashtbl.create 17;
+        commits_total = 0;
+        lock_floor = Array.make cfg.n 0;
+        vote_slots = Hashtbl.create 97;
+        violations = [];
+        trace;
+      }
+    in
+    Engine.set_capture engine (fun ev -> capture w ev);
+    (match trace with
+    | None -> ()
+    | Some sink ->
+        Engine.set_delivery_tap engine (fun ~time ~src ~dst:node msg ->
+            Trace.emit sink
+              {
+                Trace.time;
+                node;
+                kind =
+                  Trace.Delivered
+                    { src; cls = P.classify msg; view = P.view_of msg; bytes = P.msg_size msg };
+              }));
+    let nodes = List.init cfg.n (fun id -> spawn_node w id) in
+    List.iter P.start nodes;
+    drain w;
+    w
+
+  (* {2 Actions} *)
+
+  type action =
+    | A_msg of msg_entry
+    | A_timer of timer_entry
+    | A_fault of Mc_schedule.step
+
+  (* Stable identity for sleep sets: message keys are content-derived (path
+     independent); timer keys use the per-owner capture sequence, which is
+     consistent along one lineage (enough for sleep sets — a mismatch across
+     lineages only costs extra exploration, never soundness). *)
+  let action_key = function
+    | A_msg e ->
+        Hash.to_int64
+          (Hash.of_fields
+             [ 1L; Int64.of_int e.e_dst; Int64.of_int e.e_src; e.e_digest ])
+    | A_timer t ->
+        Hash.to_int64 (Hash.of_fields [ 2L; Int64.of_int t.t_owner; Int64.of_int t.t_idx ])
+    | A_fault _ -> 3L
+
+  (* DPOR-lite independence: two deliveries commute iff they execute at
+     different nodes.  Fault steps are dependent with everything; so are
+     timers — their enabledness is a function of the owner's whole inbox
+     (maximal progress), which breaks the commutation argument sleep sets
+     rely on, so they never enter a sleep set. *)
+  let action_loc = function
+    | A_msg e -> e.e_dst
+    | A_timer t -> t.t_owner
+    | A_fault _ -> -1
+
+  let action_global_dep = function
+    | A_fault _ | A_timer _ -> true
+    | A_msg _ -> false
+
+  let compare_action a b =
+    let rank = function
+      | A_msg e -> (0, e.e_dst, e.e_src, e.e_digest)
+      | A_timer t -> (1, t.t_owner, t.t_idx, 0L)
+      | A_fault _ -> (2, 0, 0, 0L)
+    in
+    compare (rank a) (rank b)
+
+  (* Drop entries addressed to a dead incarnation from the front, then
+     expose the head.  Death is deterministic along a path, so the eager
+     pops keep replays bit-identical. *)
+  let channel_head w q =
+    let rec head () =
+      match Queue.peek_opt q with
+      | None -> None
+      | Some e ->
+          if Engine.pending_live w.engine e.e_ev then Some e
+          else begin
+            ignore (Queue.pop q);
+            head ()
+          end
+    in
+    head ()
+
+  (* Deliverable messages for one destination: each channel's head, oldest
+     [reorder_window] arrivals first.  The window bounds how far a newer
+     message can overtake older ones (delay-bounded scheduling); within a
+     channel order is FIFO regardless. *)
+  let dst_window w dst =
+    let heads = ref [] in
+    for src = 0 to w.cfg.n - 1 do
+      match channel_head w w.channels.((dst * w.cfg.n) + src) with
+      | Some e -> heads := e :: !heads
+      | None -> ()
+    done;
+    let sorted = List.sort (fun a b -> compare a.e_seq b.e_seq) !heads in
+    List.filteri (fun i _ -> i < w.cfg.reorder_window) sorted
+
+  let enabled w =
+    let msgs = ref [] in
+    for dst = 0 to w.cfg.n - 1 do
+      List.iter (fun e -> msgs := A_msg e :: !msgs) (dst_window w dst)
+    done;
+    let msgs = !msgs in
+    (* Maximal progress: every protocol's timers are 3-5 delta while
+       deliveries complete within delta, so a timer can only fire once no
+       message is deliverable anywhere — the world is genuinely stuck
+       (partition, crash, silent or equivocating leader).  Timeout paths
+       are explored exactly at those stuck states, under [timer_budget]. *)
+    let tmrs =
+      if msgs <> [] then []
+      else
+        List.filter_map
+          (fun t ->
+            if
+              (not t.t_fired)
+              && w.timers_fired.(t.t_owner) < w.cfg.timer_budget
+              && Engine.pending_live w.engine t.t_ev
+            then Some (A_timer t)
+            else None)
+          w.timers
+    in
+    (* Fault steps fire at the initial state or at quiescence points.
+       Onset at t=0 is the adversary's canonical worst case, and each fault
+       creates the stalls (quiescence) at which the next step — a heal, a
+       recovery — becomes explorable.  Letting steps fire at {e every}
+       state multiplies the space by path length per step and adds nothing:
+       a partition taking effect mid-flight only changes which in-flight
+       messages die, and the delivery exploration already covers every
+       prefix of them having landed.  Unlike timers, faults are not
+       budget-limited — the schedule itself is finite. *)
+    let faults =
+      if msgs <> [] && w.steps > 0 then []
+      else
+        match List.nth_opt w.cfg.faults w.fault_idx with
+        | Some step -> [ A_fault step ]
+        | None -> []
+    in
+    List.sort compare_action (List.rev_append msgs (tmrs @ faults))
+
+  let describe_action w = function
+    | A_msg e -> (
+        match Engine.inspect e.e_ev with
+        | Engine.Pending_message { msg; _ } ->
+            Format.asprintf "deliver %d->%d %a" e.e_src e.e_dst P.pp_msg msg
+        | _ -> Format.asprintf "deliver %d->%d" e.e_src e.e_dst)
+    | A_timer t -> Format.asprintf "timer node %d #%d" t.t_owner t.t_idx
+    | A_fault step ->
+        ignore w;
+        Format.asprintf "fault %a" Mc_schedule.pp_step step
+
+  let apply_fault w step =
+    (match w.trace with
+    | None -> ()
+    | Some sink ->
+        let node, f =
+          match (step : Mc_schedule.step) with
+          | Crash i -> (i, Trace.Crash)
+          | Recover i -> (i, Trace.Recover)
+          | Partition_on _ -> (-1, Trace.Partition_start)
+          | Partition_off -> (-1, Trace.Partition_heal)
+        in
+        Trace.emit sink { Trace.time = Engine.now w.engine; node; kind = Trace.Fault f });
+    (* The timer budget is per fault era: each fault step delimits a new
+       network regime in which stuck nodes may again time out (they re-arm
+       and rebroadcast on every expiry), so post-heal recovery is
+       explorable however much budget the partition itself consumed. *)
+    Array.fill w.timers_fired 0 w.cfg.n 0;
+    match (step : Mc_schedule.step) with
+    | Crash i ->
+        Engine.crash w.engine i;
+        w.nodes.(i) <- None
+    | Recover i ->
+        Engine.recover w.engine i;
+        let node = spawn_node w i in
+        (* The lock may legitimately regress to whatever the WAL preserved. *)
+        w.lock_floor.(i) <- 0;
+        P.start node
+    | Partition_on groups -> w.partition <- Some groups
+    | Partition_off -> w.partition <- None
+
+  exception Bad_path of string
+
+  (* Invariants checked at every reached state, for live nodes only. *)
+  let post_checks w =
+    Array.iteri
+      (fun i node ->
+        match node with
+        | None -> ()
+        | Some node when not (Engine.is_down w.engine i) ->
+            let lv = P.lock_view node in
+            if lv < w.lock_floor.(i) then
+              add_violation w Mc_report.Lock_regression
+                (Printf.sprintf "node %d lock went from view %d back to %d" i
+                   w.lock_floor.(i) lv)
+            else w.lock_floor.(i) <- lv;
+            if not (P.wal_consistent node) then
+              add_violation w Mc_report.Wal_divergence
+                (Printf.sprintf "node %d in-memory safety state disagrees with its WAL" i)
+        | Some _ -> ())
+      w.nodes
+
+  let exec_action w a =
+    w.steps <- w.steps + 1;
+    (try
+       (match a with
+       | A_msg e ->
+           let q = w.channels.((e.e_dst * w.cfg.n) + e.e_src) in
+           (match Queue.take_opt q with
+           | Some head when head == e -> ()
+           | _ -> raise (Bad_path "delivered entry is not its channel's head"));
+           Engine.dispatch w.engine e.e_ev
+       | A_timer t ->
+           t.t_fired <- true;
+           w.timers_fired.(t.t_owner) <- w.timers_fired.(t.t_owner) + 1;
+           Engine.dispatch w.engine t.t_ev
+       | A_fault step ->
+           w.fault_idx <- w.fault_idx + 1;
+           apply_fault w step);
+       drain w
+     with Bft_chain.Commit_log.Safety_violation msg ->
+       Queue.clear w.sync_q;
+       add_violation w Mc_report.Commit_log_exception msg);
+    (* One logical tick per action keeps [Env.now] monotone so time-window
+       heuristics inside nodes (sync backoff) stay deterministic. *)
+    Engine.advance_clock w.engine (Engine.now w.engine +. 1.0);
+    post_checks w
+
+  let state_digest w =
+    let fields = ref [] in
+    let push v = fields := v :: !fields in
+    for i = 0 to w.cfg.n - 1 do
+      (match w.nodes.(i) with
+      | Some node when not (Engine.is_down w.engine i) ->
+          push (Hash.to_int64 (P.state_hash node))
+      | _ -> push 0xdeadL);
+      push (Hash.to_int64 (P.wal_hash w.wals.(i)))
+    done;
+    (* In-flight messages: per-channel content sequences, channels in fixed
+       (dst, src) order. *)
+    Array.iter
+      (fun q ->
+        let contents =
+          Queue.fold
+            (fun acc e ->
+              if Engine.pending_live w.engine e.e_ev then e.e_digest :: acc
+              else acc)
+            [] q
+        in
+        push (Hash.to_int64 (Hash.of_fields (List.rev contents))))
+      w.channels;
+    (* Cross-channel arrival order per destination: the reorder window is a
+       function of it, so state matching must distinguish it. *)
+    for dst = 0 to w.cfg.n - 1 do
+      let arrivals = ref [] in
+      for src = 0 to w.cfg.n - 1 do
+        Queue.iter
+          (fun e ->
+            if Engine.pending_live w.engine e.e_ev then arrivals := e :: !arrivals)
+          w.channels.((dst * w.cfg.n) + src)
+      done;
+      let order =
+        List.sort (fun a b -> compare a.e_seq b.e_seq) !arrivals
+        |> List.map (fun e -> Int64.of_int e.e_src)
+      in
+      push (Hash.to_int64 (Hash.of_fields order))
+    done;
+    (* Live timers per owner, by count: timers of one owner are mutually
+       dependent and protocols re-arm rather than accumulate, so the count
+       abstracts the set safely for the worlds we explore. *)
+    let counts = Array.make w.cfg.n 0 in
+    List.iter
+      (fun t ->
+        if (not t.t_fired) && Engine.pending_live w.engine t.t_ev then
+          let o = if t.t_owner < 0 then 0 else t.t_owner in
+          counts.(o) <- counts.(o) + 1)
+      w.timers;
+    Array.iter (fun c -> push (Int64.of_int c)) counts;
+    push (Int64.of_int w.fault_idx);
+    Array.iter (fun c -> push (Int64.of_int c)) w.timers_fired;
+    Hash.to_int64 (Hash.of_fields (List.rev !fields))
+
+  let max_view w =
+    Array.fold_left
+      (fun acc node ->
+        match node with Some n -> max acc (P.current_view n) | None -> acc)
+      0 w.nodes
+
+  (* {2 Path replay} *)
+
+  let step_path w idx =
+    let acts = enabled w in
+    match List.nth_opt acts idx with
+    | Some a -> exec_action w a
+    | None ->
+        raise
+          (Bad_path
+             (Printf.sprintf "index %d out of %d enabled actions" idx (List.length acts)))
+
+  (* Replay [path] on a fresh world.  Violations are only reported for the
+     final transition: every proper prefix was itself a frontier state, was
+     checked then, and (being violation-free, or it would not have been
+     expanded) contributes nothing new. *)
+  let run_path ?trace cfg path =
+    let w = make_world ?trace cfg in
+    let rec go = function
+      | [] -> ()
+      | [ last ] ->
+          w.violations <- [];
+          step_path w last
+      | idx :: rest ->
+          step_path w idx;
+          go rest
+    in
+    (match path with [] -> () | _ -> go path);
+    w
+
+  type probe = {
+    r_digest : int64;
+    r_enabled : (int64 * int * bool) array;
+        (** canonical order: (key, location, is_fault) per enabled action *)
+    r_violations : (Mc_report.violation_kind * string) list;
+    r_committed : int;
+    r_view_bound_hit : bool;
+  }
+
+  let probe_path cfg path =
+    let w = run_path cfg path in
+    let acts = enabled w in
+    {
+      r_digest = state_digest w;
+      r_enabled =
+        Array.of_list
+          (List.map (fun a -> (action_key a, action_loc a, action_global_dep a)) acts);
+      r_violations = List.rev w.violations;
+      r_committed = w.commits_total;
+      r_view_bound_hit = max_view w > cfg.view_bound;
+    }
+
+  (* {2 Exploration} *)
+
+  type frontier_entry = {
+    f_path : int list;
+    f_sleep : (int64 * int * bool) list;
+  }
+
+  let sleep_keys sleep = List.map (fun (k, _, _) -> k) sleep
+
+  let check ?progress ?(jobs = 1) cfg =
+    let visited : (int64, (int64 * int * bool) list) Hashtbl.t =
+      Hashtbl.create 4096
+    in
+    let states_visited = ref 0 in
+    let states_matched = ref 0 in
+    let transitions = ref 0 in
+    let sleep_skips = ref 0 in
+    let leaves = ref 0 in
+    let max_depth_seen = ref 0 in
+    let exhausted = ref true in
+    let violations = ref [] in
+    let max_committed = ref 0 in
+    let commit_witness = ref None in
+    let leaves_without_commit = ref 0 in
+    let deadlocks = ref 0 in
+    let deadlock_witness = ref None in
+    let frontier = ref [ { f_path = []; f_sleep = [] } ] in
+    let depth = ref 0 in
+    while !frontier <> [] do
+      max_depth_seen := max !max_depth_seen !depth;
+      (match progress with
+      | None -> ()
+      | Some f ->
+          f ~depth:!depth ~frontier:(List.length !frontier) ~states:!states_visited);
+      let probes =
+        Bft_parallel.Parallel.map ~jobs (fun e -> probe_path cfg e.f_path) !frontier
+      in
+      let next = ref [] in
+      List.iter2
+        (fun entry probe ->
+          incr transitions;
+          if probe.r_committed > 0 then begin
+            if !commit_witness = None then commit_witness := Some entry.f_path;
+            max_committed := max !max_committed probe.r_committed
+          end;
+          let leaf_at reason_commitless =
+            incr leaves;
+            if reason_commitless && probe.r_committed = 0 then
+              incr leaves_without_commit
+          in
+          if probe.r_violations <> [] then begin
+            List.iter
+              (fun (kind, detail) ->
+                violations :=
+                  { Mc_report.kind; detail; path = entry.f_path } :: !violations)
+              probe.r_violations;
+            (* A violating state is a leaf; make later hits on its digest
+               prune unconditionally. *)
+            Hashtbl.replace visited probe.r_digest [];
+            incr states_visited;
+            leaf_at false
+          end
+          else begin
+            let prev = Hashtbl.find_opt visited probe.r_digest in
+            let prune =
+              match prev with
+              | Some stored ->
+                  let new_keys = sleep_keys entry.f_sleep in
+                  List.for_all (fun (k, _, _) -> List.mem k new_keys) stored
+              | None -> false
+            in
+            if prune then incr states_matched
+            else begin
+              let eff_sleep =
+                match prev with
+                | None ->
+                    incr states_visited;
+                    entry.f_sleep
+                | Some stored ->
+                    (* Revisit with a smaller sleep set: re-expand from the
+                       intersection so nothing stays unexplored. *)
+                    let stored_keys = sleep_keys stored in
+                    List.filter
+                      (fun (k, _, _) -> List.mem k stored_keys)
+                      entry.f_sleep
+              in
+              Hashtbl.replace visited probe.r_digest eff_sleep;
+              if Array.length probe.r_enabled = 0 then begin
+                leaf_at true;
+                if probe.r_committed = 0 then begin
+                  incr deadlocks;
+                  if !deadlock_witness = None then
+                    deadlock_witness := Some entry.f_path
+                end
+              end
+              else if probe.r_view_bound_hit then leaf_at true
+              else if List.length entry.f_path >= cfg.max_depth then begin
+                exhausted := false;
+                leaf_at true
+              end
+              else begin
+                let sleep = ref eff_sleep in
+                Array.iteri
+                  (fun j ((key, loc, global_dep) as a) ->
+                    if List.exists (fun (k, _, _) -> Int64.equal k key) !sleep
+                    then incr sleep_skips
+                    else begin
+                      let child_sleep =
+                        if global_dep then []
+                        else
+                          List.filter
+                            (fun (_, l, g) -> (not g) && l <> loc)
+                            !sleep
+                      in
+                      next :=
+                        { f_path = entry.f_path @ [ j ]; f_sleep = child_sleep }
+                        :: !next
+                    end;
+                    sleep := a :: !sleep)
+                  probe.r_enabled
+              end
+            end
+          end)
+        !frontier probes;
+      frontier := List.rev !next;
+      incr depth
+    done;
+    {
+      Mc_report.stats =
+        {
+          Mc_report.states_visited = !states_visited;
+          states_matched = !states_matched;
+          transitions = !transitions;
+          sleep_skips = !sleep_skips;
+          leaves = !leaves;
+          max_depth_seen = !max_depth_seen;
+          exhausted = !exhausted;
+        };
+      violations = List.rev !violations;
+      max_committed = !max_committed;
+      commit_witness = !commit_witness;
+      leaves_without_commit = !leaves_without_commit;
+      deadlocks = !deadlocks;
+      deadlock_witness = !deadlock_witness;
+    }
+
+  (* {2 Counterexample replay} *)
+
+  let replay cfg path =
+    let sink = Trace.create () in
+    let (_ : world) = run_path ~trace:sink cfg path in
+    sink
+
+  let describe cfg path =
+    let w = make_world cfg in
+    let buf = Buffer.create 256 in
+    List.iteri
+      (fun step idx ->
+        let acts = enabled w in
+        match List.nth_opt acts idx with
+        | None -> raise (Bad_path (Printf.sprintf "step %d: index %d out of range" step idx))
+        | Some a ->
+            Buffer.add_string buf
+              (Printf.sprintf "%2d. %s\n" (step + 1) (describe_action w a));
+            exec_action w a)
+      path;
+    Buffer.contents buf
+end
+
+(* {2 Protocol dispatch} *)
+
+module Kind = Bft_runtime.Protocol_kind
+
+module Simple_mc = Make (Moonshot.Simple_node.Protocol)
+module Pipelined_mc = Make (Moonshot.Pipelined_node.Protocol)
+module Commit_mc = Make (Moonshot.Pipelined_node.Commit_protocol)
+module Jolteon_mc = Make (Jolteon.Jolteon_node.Protocol)
+module Hotstuff_mc = Make (Hotstuff.Hotstuff_node.Protocol)
+
+let check ?jobs kind cfg =
+  match (kind : Kind.t) with
+  | Simple_moonshot -> Simple_mc.check ?jobs cfg
+  | Pipelined_moonshot -> Pipelined_mc.check ?jobs cfg
+  | Commit_moonshot -> Commit_mc.check ?jobs cfg
+  | Jolteon -> Jolteon_mc.check ?jobs cfg
+  | Hotstuff -> Hotstuff_mc.check ?jobs cfg
+
+let replay kind cfg path =
+  match (kind : Kind.t) with
+  | Simple_moonshot -> Simple_mc.replay cfg path
+  | Pipelined_moonshot -> Pipelined_mc.replay cfg path
+  | Commit_moonshot -> Commit_mc.replay cfg path
+  | Jolteon -> Jolteon_mc.replay cfg path
+  | Hotstuff -> Hotstuff_mc.replay cfg path
+
+let describe kind cfg path =
+  match (kind : Kind.t) with
+  | Simple_moonshot -> Simple_mc.describe cfg path
+  | Pipelined_moonshot -> Pipelined_mc.describe cfg path
+  | Commit_moonshot -> Commit_mc.describe cfg path
+  | Jolteon -> Jolteon_mc.describe cfg path
+  | Hotstuff -> Hotstuff_mc.describe cfg path

@@ -1,0 +1,119 @@
+(** Bounded model checker: exhaustive exploration of message-delivery and
+    timer-firing orderings for small worlds, over the exact engine and node
+    wiring the experiments use.
+
+    The checker installs the engine's capture hook ({!Bft_sim.Engine.set_capture}),
+    so every network delivery, timer expiry and scheduled thunk becomes an
+    explorable choice instead of a time-ordered event.  Exploration is a
+    layered breadth-first search over {e paths} (sequences of indices into
+    the canonically-sorted enabled-action list); nodes are mutable, so each
+    path is replayed from a fresh world — which is also what makes layers
+    embarrassingly parallel ({!Bft_parallel.Parallel.map}) while keeping
+    results bit-identical for any [jobs] value.
+
+    Reduction, all sound for state reachability within the stated model:
+    - {e state matching}: a canonical digest of node states, WALs, channel
+      contents, per-destination arrival order, live timers and the fault
+      cursor; revisited digests are pruned (with Godefroid's sleep-set
+      subset guard, re-expanding when a revisit carries a strictly smaller
+      sleep set);
+    - {e sleep sets} with a DPOR-lite independence relation: deliveries to
+      different destinations commute; timer firings and fault steps are
+      globally dependent (timer enabledness is a function of every inbox).
+
+    Model assumptions (documented, deliberate):
+    - each [(src, dst)] link is a FIFO channel — delivery order is explored
+      exhaustively {e across} channels but in-order {e within} one, and an
+      identical undelivered copy of a message merges with the one already
+      queued (retransmission after delivery re-enqueues, so post-partition
+      liveness is still explored);
+    - cross-channel overtaking at one destination is bounded by
+      [reorder_window] (delay-bounded scheduling);
+    - timers fire only at {e quiescence} — when no delivery is enabled
+      anywhere — and at most [timer_budget] times per node per fault era.
+      This encodes
+      maximal progress: every protocol's timeouts are 3–5 [delta] while
+      deliveries complete within [delta], so in any timing-feasible run a
+      timer cannot beat a deliverable message;
+    - messages in flight to a node when it crashes die with the
+      incarnation, exactly as in the harness.
+
+    At every reached state the checker verifies: no two nodes commit
+    different blocks at one height, no {!Bft_chain.Commit_log.Safety_violation},
+    per-incarnation lock monotonicity, WAL/in-memory agreement
+    ({!Bft_types.Protocol_intf.S.wal_consistent}), and — at capture time —
+    that no honest node ever signs two different votes for one
+    [(view, slot)].  Liveness is reported, not asserted: the report carries
+    the best commit witness and the number of commit-free leaves. *)
+
+type config = {
+  n : int;
+  delta : float;  (** logical; only feeds in-node time heuristics *)
+  view_bound : int;
+      (** stop expanding once some live node's view exceeds this *)
+  max_depth : int;  (** hard path-length cap; hitting it clears [exhausted] *)
+  timer_budget : int;
+      (** max timer firings per {e node} per {e fault era} (counts reset at
+          every fault step): bounds the timeout-interleaving dimension,
+          which otherwise dominates the state space (nodes re-arm on every
+          expiry, so one node could consume any global budget alone).
+          Worlds that need view changes to progress (partitions, crashes)
+          need a budget of at least one firing per stalled view. *)
+  reorder_window : int;
+      (** per-destination overtaking bound (delay-bounded scheduling): a
+          message may be delivered only while it is among the [window]
+          oldest undelivered arrivals for its destination.  [1] = arrival
+          order; larger windows explore more cross-sender reorderings
+          (which-quorum-forms choices) at exponential cost. *)
+  equivocators : int list;
+      (** created with [~equivocate:true] and exempt from double-vote checks *)
+  faults : Mc_schedule.step list;
+  payload_bytes : int;
+}
+
+(** Smart constructor with defaults ([delta]=10, [max_depth]=128,
+    [timer_budget]=4, [reorder_window]=1, no faults, no equivocators);
+    validates ranges. *)
+val config :
+  ?delta:float ->
+  ?max_depth:int ->
+  ?timer_budget:int ->
+  ?reorder_window:int ->
+  ?equivocators:int list ->
+  ?faults:Mc_schedule.step list ->
+  ?payload_bytes:int ->
+  n:int ->
+  view_bound:int ->
+  unit ->
+  config
+
+module Make (P : Bft_types.Protocol_intf.S) : sig
+  (** [check ~jobs cfg] explores the world exhaustively within bounds and
+      returns the report.  Deterministic: state counts, violations and
+      witness paths are identical for every [jobs] value.  [progress], when
+      given, is called once per BFS layer (frontier size, distinct states
+      so far) — used by the bench driver for live output. *)
+  val check :
+    ?progress:(depth:int -> frontier:int -> states:int -> unit) ->
+    ?jobs:int ->
+    config ->
+    Mc_report.t
+
+  (** Replay a path (e.g. a violation's) deterministically, collecting a
+      full {!Bft_obs.Trace.t} — deliveries, node probe events, commits,
+      fault milestones — for inspection or byte-stable JSONL export. *)
+  val replay : config -> int list -> Bft_obs.Trace.t
+
+  (** Human-readable rendering of a path, one numbered action per line. *)
+  val describe : config -> int list -> string
+end
+
+(** {2 Protocol dispatch} — the five protocols of the experiment suite. *)
+
+val check :
+  ?jobs:int -> Bft_runtime.Protocol_kind.t -> config -> Mc_report.t
+
+val replay :
+  Bft_runtime.Protocol_kind.t -> config -> int list -> Bft_obs.Trace.t
+
+val describe : Bft_runtime.Protocol_kind.t -> config -> int list -> string

@@ -1,0 +1,78 @@
+type violation_kind =
+  | Conflicting_commits
+  | Commit_log_exception
+  | Lock_regression
+  | Wal_divergence
+  | Double_vote
+
+type violation = {
+  kind : violation_kind;
+  detail : string;
+  path : int list;
+}
+
+type stats = {
+  states_visited : int;
+  states_matched : int;
+  transitions : int;
+  sleep_skips : int;
+  leaves : int;
+  max_depth_seen : int;
+  exhausted : bool;
+}
+
+type t = {
+  stats : stats;
+  violations : violation list;
+  max_committed : int;
+  commit_witness : int list option;
+  leaves_without_commit : int;
+  deadlocks : int;
+  deadlock_witness : int list option;
+}
+
+let kind_name = function
+  | Conflicting_commits -> "conflicting-commits"
+  | Commit_log_exception -> "commit-log-exception"
+  | Lock_regression -> "lock-regression"
+  | Wal_divergence -> "wal-divergence"
+  | Double_vote -> "double-vote"
+
+let pruning_ratio s =
+  let skipped = s.states_matched + s.sleep_skips in
+  let total = s.transitions + skipped in
+  if total = 0 then 0. else float_of_int skipped /. float_of_int total
+
+let pp_path ppf path =
+  Format.fprintf ppf "[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ';')
+       Format.pp_print_int)
+    path
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%s at %a: %s" (kind_name v.kind) pp_path v.path v.detail
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>states=%d matched=%d transitions=%d sleep-skips=%d leaves=%d \
+     depth<=%d exhausted=%b@,\
+     max-committed=%d leaves-without-commit=%d deadlocks=%d%a%a%a@]"
+    t.stats.states_visited t.stats.states_matched t.stats.transitions
+    t.stats.sleep_skips t.stats.leaves t.stats.max_depth_seen
+    t.stats.exhausted t.max_committed t.leaves_without_commit t.deadlocks
+    (fun ppf -> function
+      | None -> ()
+      | Some w -> Format.fprintf ppf "@,commit-witness=%a" pp_path w)
+    t.commit_witness
+    (fun ppf -> function
+      | None -> ()
+      | Some w -> Format.fprintf ppf "@,deadlock-witness=%a" pp_path w)
+    t.deadlock_witness
+    (fun ppf -> function
+      | [] -> ()
+      | vs ->
+          Format.fprintf ppf "@,%d violation(s):@,%a" (List.length vs)
+            (Format.pp_print_list pp_violation)
+            vs)
+    t.violations

@@ -1,0 +1,57 @@
+(** Model-checking results: violations with their reproducing paths,
+    exploration statistics and liveness accounting.  Protocol-agnostic —
+    shared by every {!Checker.Make} instantiation. *)
+
+type violation_kind =
+  | Conflicting_commits
+      (** two nodes committed different blocks at one height *)
+  | Commit_log_exception
+      (** a node's own {!Bft_chain.Commit_log} raised [Safety_violation] *)
+  | Lock_regression  (** a lock ranked down within one incarnation *)
+  | Wal_divergence  (** in-memory safety slots disagree with the WAL *)
+  | Double_vote
+      (** an honest node signed two distinct votes for one [(view, slot)] *)
+
+type violation = {
+  kind : violation_kind;
+  detail : string;
+  path : int list;
+      (** replayable: indices into the canonical enabled-action list at
+          each step from the initial state ({!Checker.Make.replay}) *)
+}
+
+type stats = {
+  states_visited : int;  (** distinct state digests *)
+  states_matched : int;  (** frontier entries pruned by a revisited digest *)
+  transitions : int;  (** executed frontier expansions *)
+  sleep_skips : int;  (** enabled actions skipped by sleep sets *)
+  leaves : int;
+  max_depth_seen : int;
+  exhausted : bool;
+      (** false iff some path was truncated by [max_depth] with actions
+          still enabled — the bound, not the world, ended exploration *)
+}
+
+type t = {
+  stats : stats;
+  violations : violation list;
+  max_committed : int;  (** most commits observed in any explored world *)
+  commit_witness : int list option;
+      (** first path (in BFS order) whose world commits — a liveness
+          witness within the view budget *)
+  leaves_without_commit : int;  (** leaves whose world never committed *)
+  deadlocks : int;
+      (** commit-free leaves at which {e no} action was enabled — genuine
+          stuck worlds, not bound artifacts.  Timer-budget exhaustion can
+          contribute; raise [timer_budget] to discriminate. *)
+  deadlock_witness : int list option;  (** first deadlock path (BFS order) *)
+}
+
+(** Fraction of potential work avoided: (matched + sleep skips) over
+    (transitions + matched + sleep skips). *)
+val pruning_ratio : stats -> float
+
+val kind_name : violation_kind -> string
+val pp_path : Format.formatter -> int list -> unit
+val pp_violation : Format.formatter -> violation -> unit
+val pp : Format.formatter -> t -> unit

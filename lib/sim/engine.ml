@@ -30,6 +30,13 @@ and timer = {
   action : unit -> unit;
 }
 
+type 'msg pending = 'msg event
+
+type 'msg pending_view =
+  | Pending_message of { src : int; dst : int; msg : 'msg }
+  | Pending_timer of { owner : int }
+  | Pending_task
+
 type 'msg t = {
   n : int;
   network : Network.t;
@@ -56,6 +63,12 @@ type 'msg t = {
   mutable delay_installed : bool;
   mutable tap : time:float -> src:int -> dst:int -> 'msg -> unit;
   mutable tap_installed : bool;
+  (* An external scheduler: when installed, every event that would enter the
+     time-ordered queue is handed to the hook instead, and the hook's owner
+     decides when (and whether) to [dispatch] it.  This is what lets the
+     model checker explore arbitrary delivery/firing orders through the same
+     engine the experiments run on. *)
+  mutable capture : ('msg event -> unit) option;
   stats : stats;
 }
 
@@ -82,10 +95,27 @@ let create ~n ~network ~seed ~msg_size ?cpu_cost () =
     delay_installed = false;
     tap = (fun ~time:_ ~src:_ ~dst:_ _ -> ());
     tap_installed = false;
+    capture = None;
     stats = { events_processed = 0; messages_sent = 0; bytes_sent = 0. };
   }
 
 let set_handler t i h = t.handlers.(i) <- h
+
+(* All event scheduling funnels through here so an installed capture hook
+   sees every message, timer and thunk the simulation would otherwise order
+   by time. *)
+let enqueue t ~time ev =
+  match t.capture with
+  | None -> Event_queue.push t.queue ~time ev
+  | Some f -> f ev
+
+let set_capture t f = t.capture <- Some f
+
+let inspect = function
+  | Deliver (src, dst, _, msg) | Process (src, dst, _, msg) ->
+      Pending_message { src; dst; msg }
+  | Timer tm -> Pending_timer { owner = tm.owner }
+  | Thunk _ -> Pending_task
 
 let set_link_filter t f =
   t.filter <- f;
@@ -149,14 +179,14 @@ let process t ~src ~dst ~epoch msg =
         let finish = start +. cost msg in
         t.cpu_free.(dst) <- finish;
         if finish <= t.clock then deliver t ~src ~dst ~epoch msg
-        else Event_queue.push t.queue ~time:finish (Deliver (src, dst, epoch, msg))
+        else enqueue t ~time:finish (Deliver (src, dst, epoch, msg))
 
 (* One network send with the byte size already computed and accounted. *)
 let send_sized t ~src ~dst ~size msg =
   if Array.unsafe_get t.down src then ()
   else if dst = src then
     (* Local hand-off: no serialization, no propagation, no CPU charge. *)
-    Event_queue.push t.queue ~time:t.clock
+    enqueue t ~time:t.clock
       (Deliver (src, dst, Array.unsafe_get t.epochs dst, msg))
   else if (not t.filter_installed) || t.filter ~src ~dst ~now:t.clock then begin
     let drop = t.network.Network.drop_prob in
@@ -171,13 +201,12 @@ let send_sized t ~src ~dst ~size msg =
         else arrival
       in
       let epoch = Array.unsafe_get t.epochs dst in
-      Event_queue.push t.queue ~time:arrival (Process (src, dst, epoch, msg));
+      enqueue t ~time:arrival (Process (src, dst, epoch, msg));
       let dup = t.network.Network.duplicate_prob in
       if dup > 0. && Rng.float t.net_rng 1. < dup then begin
         (* Network-level duplication: the copy trails the original slightly. *)
         let lag = Rng.float t.net_rng (0.5 *. t.network.Network.delta) in
-        Event_queue.push t.queue ~time:(arrival +. lag)
-          (Process (src, dst, epoch, msg))
+        enqueue t ~time:(arrival +. lag) (Process (src, dst, epoch, msg))
       end
     end
   end
@@ -209,12 +238,12 @@ let set_timer ?(owner = -1) t delay f =
   if delay < 0. then invalid_arg "Engine.set_timer: negative delay";
   let epoch = if owner >= 0 then t.epochs.(owner) else 0 in
   let tm = { cancelled = false; owner; epoch; action = f } in
-  Event_queue.push t.queue ~time:(t.clock +. delay) (Timer tm);
+  enqueue t ~time:(t.clock +. delay) (Timer tm);
   fun () -> tm.cancelled <- true
 
 let schedule_at t time f =
   if time < t.clock then invalid_arg "Engine.schedule_at: time in the past";
-  Event_queue.push t.queue ~time (Thunk f)
+  enqueue t ~time (Thunk f)
 
 let timer_live t tm =
   (not tm.cancelled)
@@ -226,6 +255,20 @@ let exec t = function
   | Process (src, dst, epoch, msg) -> process t ~src ~dst ~epoch msg
   | Timer tm -> if timer_live t tm then tm.action ()
   | Thunk f -> f ()
+
+let pending_live t = function
+  | Deliver (_, dst, epoch, _) | Process (_, dst, epoch, _) ->
+      (not t.down.(dst)) && t.epochs.(dst) = epoch
+  | Timer tm -> timer_live t tm
+  | Thunk _ -> true
+
+let dispatch t ev =
+  t.stats.events_processed <- t.stats.events_processed + 1;
+  exec t ev
+
+let advance_clock t time =
+  if time < t.clock then invalid_arg "Engine.advance_clock: time in the past";
+  t.clock <- time
 
 let run t ~until =
   let rec loop () =

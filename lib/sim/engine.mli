@@ -96,3 +96,43 @@ val schedule_at : 'msg t -> float -> (unit -> unit) -> unit
 val run : 'msg t -> until:float -> unit
 
 val stats : 'msg t -> stats
+
+(** {2 Pluggable scheduler}
+
+    An external scheduler takes over event ordering: with a capture hook
+    installed, every event that would enter the time-ordered queue — network
+    deliveries, timer expiries, scheduled thunks — is handed to the hook
+    instead, and the hook's owner decides when (and whether) each one runs
+    via {!dispatch}.  The bounded model checker ({!Bft_mc.Checker}) uses
+    this to explore arbitrary delivery and firing orders through the exact
+    engine, crash/epoch machinery and node wiring the experiments use. *)
+
+(** A captured event: opaque, re-injectable via {!dispatch}. *)
+type 'msg pending
+
+(** What a captured event is, for scheduling decisions. *)
+type 'msg pending_view =
+  | Pending_message of { src : int; dst : int; msg : 'msg }
+  | Pending_timer of { owner : int }  (** [-1] = unowned *)
+  | Pending_task  (** a [schedule_at] thunk *)
+
+(** [set_capture t f] installs the hook.  From now on nothing reaches the
+    internal queue; [f] receives every scheduled event synchronously at the
+    point it is created (inside the sending handler's execution). *)
+val set_capture : 'msg t -> ('msg pending -> unit) -> unit
+
+val inspect : 'msg pending -> 'msg pending_view
+
+(** Whether dispatching the event would still do anything: false for
+    cancelled timers and for events addressed to a crashed incarnation
+    (stale epoch).  Dispatching a dead event is a counted no-op. *)
+val pending_live : 'msg t -> 'msg pending -> bool
+
+(** Execute a captured event now, exactly as the run loop would have:
+    epoch and cancellation checks apply, [events_processed] is counted. *)
+val dispatch : 'msg t -> 'msg pending -> unit
+
+(** Move the clock forward to an absolute time (>= now).  External
+    schedulers use it to give [now] a monotone logical meaning; raises
+    [Invalid_argument] on time travel. *)
+val advance_clock : 'msg t -> float -> unit

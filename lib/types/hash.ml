@@ -29,3 +29,4 @@ let null = 0L
 let to_hex t = Printf.sprintf "%016Lx" t
 let pp ppf t = Format.fprintf ppf "#%s" (String.sub (to_hex t) 0 8)
 let to_int = Int64.to_int
+let to_int64 t = t

@@ -25,3 +25,7 @@ val pp : Format.formatter -> t -> unit
 
 (** Stable value usable as a hash-table key. *)
 val to_int : t -> int
+
+(** The digest's 64-bit value, for folding one digest into another via
+    {!of_fields} (how composite state digests are built). *)
+val to_int64 : t -> int64

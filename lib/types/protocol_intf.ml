@@ -53,4 +53,46 @@ module type S = sig
 
   (** Deliver a message from [src]. *)
   val handle : node -> src:int -> msg -> unit
+
+  (** {2 Model-checker support}
+
+      The bounded model checker ({!Bft_mc.Checker}) identifies explored
+      world states by digest; every protocol exposes a canonical digest of
+      its volatile node state, its durable WAL state and its in-flight
+      messages, plus the introspection the checker's invariants need. *)
+
+  (** Canonical content digest: equal iff the node treats the messages
+      identically (e.g. certificate signer counts are excluded when the
+      protocol deduplicates certificates without them). *)
+  val msg_digest : msg -> Hash.t
+
+  val pp_msg : Format.formatter -> msg -> unit
+
+  (** The at-most-once vote slot a message occupies, as [(view, slot)], or
+      [None] for messages a correct node may send repeatedly.  Two
+      differently-digested messages from one honest sender in the same slot
+      constitute a double vote. *)
+  val vote_slot : msg -> (int * int) option
+
+  (** Canonical digest of the node's volatile state (the WAL is digested
+      separately via {!wal_hash} — it outlives the node).  Two nodes with
+      equal digests behave identically on any future input; wall-clock
+      values and pure statistics are excluded. *)
+  val state_hash : node -> Hash.t
+
+  (** The view (round) the node is currently in. *)
+  val current_view : node -> int
+
+  (** Rank of the node's lock (high certificate); never decreases within
+      one incarnation. *)
+  val lock_view : node -> int
+
+  (** Canonical digest of a WAL's recovery-relevant content. *)
+  val wal_hash : wal -> Hash.t
+
+  (** Whether the node's in-memory safety slots agree with its WAL's latest
+      record (the WAL may lag only where recovery tolerates it, e.g.
+      Jolteon's high QC).  Trivially true for WAL-less nodes; checked by the
+      model checker after every handler run. *)
+  val wal_consistent : node -> bool
 end

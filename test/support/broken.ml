@@ -1,0 +1,43 @@
+(* Deliberately broken protocol variants, used to prove the model checker
+   detects what it claims to detect.  [Double_vote] wraps Simple Moonshot
+   and makes one fixed node multicast a second, conflicting normal vote
+   whenever it votes in view 1 — the canonical safety-rule violation the
+   checker's capture-time vote accounting must flag (the node is honest as
+   far as the checker knows: it is not registered as an equivocator). *)
+
+open Bft_types
+open Moonshot
+
+(* Node 2: a non-leader voter in view 1 of the 4-node round-robin. *)
+let broken_id = 2
+
+module Double_vote : Protocol_intf.S with type msg = Message.t = struct
+  include Simple_node.Protocol
+
+  let conflicting (block : Block.t) =
+    (* Same view — hence the same vote slot — but a different payload and
+       parent, so the digest differs: a double vote, not a retransmission. *)
+    Block.create ~parent:Block.genesis ~view:block.Block.view
+      ~proposer:block.Block.proposer
+      ~payload:(Payload.make ~id:(9000 + block.Block.view) ~size_bytes:0)
+
+  let create ?equivocate ?wal (env : Message.t Env.t) =
+    let env =
+      if env.Env.id <> broken_id then env
+      else
+        {
+          env with
+          Env.multicast =
+            (fun msg ->
+              env.Env.multicast msg;
+              match msg with
+              | Message.Vote { kind = Vote_kind.Normal; block }
+                when block.Block.view = 1 ->
+                  env.Env.multicast
+                    (Message.Vote
+                       { kind = Vote_kind.Normal; block = conflicting block })
+              | _ -> ());
+        }
+    in
+    Simple_node.Protocol.create ?equivocate ?wal env
+end

@@ -122,6 +122,68 @@ let test_accumulator_unreachable_threshold () =
   done;
   check "never complete" false (Accumulator.is_complete acc ())
 
+(* --- certificate quorum formation (property) --------------------------------- *)
+
+(* Random vote multisets with duplicate and conflicting signers folded into a
+   fresh aggregation core: a certificate must be returned exactly when a
+   (kind, block) key's distinct-signer count first reaches the quorum, carry
+   that count, and never fire again — and a duplicate vote must never
+   displace or mask a distinct signer.  The fold below is the reference
+   model: per-key distinct-signer sets, nothing else. *)
+let prop_cert_quorum_formation =
+  let open Moonshot in
+  let block_of = function
+    | `A ->
+        Test_support.Builders.block ~view:1 ~payload_id:1
+          ~parent:Bft_types.Block.genesis ()
+    | `B ->
+        (* Same view, different payload: the conflicting (equivocating)
+           twin; it accumulates in its own key. *)
+        Test_support.Builders.block ~view:1 ~payload_id:2
+          ~parent:Bft_types.Block.genesis ()
+  in
+  let vote_gen =
+    QCheck.Gen.(
+      list_size (int_range 0 24)
+        (triple (int_range 0 3) (oneofl [ `A; `B ])
+           (oneofl [ Vote_kind.Normal; Vote_kind.Opt ])))
+  in
+  let print_votes votes =
+    String.concat "; "
+      (List.map
+         (fun (s, c, k) ->
+           Printf.sprintf "%d:%s:%s" s
+             (match c with `A -> "A" | `B -> "B")
+             (match k with Vote_kind.Normal -> "n" | _ -> "o"))
+         votes)
+  in
+  QCheck.Test.make ~count:300
+    ~name:"certificate forms exactly at quorum under duplicate/conflicting signers"
+    (QCheck.make ~print:print_votes vote_gen)
+    (fun votes ->
+      let _mock, env = Test_support.Mock_env.create ~n:4 ~id:0 () in
+      let core = Node_core.create env in
+      let quorum = 3 in
+      let seen : (int * int, int list) Hashtbl.t = Hashtbl.create 8 in
+      List.for_all
+        (fun (signer, choice, kind) ->
+          let block = block_of choice in
+          let key =
+            (Vote_kind.to_tag kind, match choice with `A -> 0 | `B -> 1)
+          in
+          let signers = Option.value ~default:[] (Hashtbl.find_opt seen key) in
+          let fresh = not (List.mem signer signers) in
+          if fresh then Hashtbl.replace seen key (signer :: signers);
+          let fires = fresh && List.length signers + 1 = quorum in
+          match Node_core.add_vote core ~signer ~kind block with
+          | Some cert ->
+              fires && cert.Cert.view = 1
+              && cert.Cert.signers = quorum
+              && cert.Cert.kind = kind
+              && Bft_types.Block.equal cert.Cert.block block
+          | None -> not fires)
+        votes)
+
 let () =
   Alcotest.run "crypto"
     [
@@ -148,4 +210,6 @@ let () =
           Alcotest.test_case "unreachable threshold" `Quick
             test_accumulator_unreachable_threshold;
         ] );
+      ( "cert-quorum",
+        [ QCheck_alcotest.to_alcotest prop_cert_quorum_formation ] );
     ]

@@ -1,0 +1,191 @@
+(* The bounded model checker end to end: exhaustive small worlds are safe
+   and live for all five protocols, an injected double-vote bug is caught
+   with a deterministically replayable counterexample, exploration is
+   bit-identical across worker counts, the PR-3 post-partition deadlock
+   stays fixed, and the schedule compiler rejects what it must reject. *)
+
+open Bft_mc
+module Kind = Bft_runtime.Protocol_kind
+module FS = Bft_faults.Fault_schedule
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* A 4-node world explored to view 2 with one timeout per node per era:
+   small enough for the suite, deep enough to cover proposal, vote,
+   certificate, gossip and timeout interleavings. *)
+let small_cfg ?faults ?equivocators ?(view_bound = 2) () =
+  Checker.config ~n:4 ~view_bound ~timer_budget:1 ?faults ?equivocators ()
+
+(* --- safety of the real protocols ------------------------------------------- *)
+
+let test_all_protocols_safe () =
+  List.iter
+    (fun kind ->
+      let name = Kind.name kind in
+      (* HotStuff's 3-chain commit rule needs a third view; Jolteon and
+         HotStuff explore tiny spaces (unicast vote collection), so the
+         deeper bound costs nothing. *)
+      let view_bound =
+        match kind with Kind.Jolteon | Kind.Hotstuff -> 3 | _ -> 2
+      in
+      let r = Checker.check kind (small_cfg ~view_bound ()) in
+      check_int (name ^ ": zero violations") 0 (List.length r.Mc_report.violations);
+      check (name ^ ": state space exhausted") true
+        r.Mc_report.stats.Mc_report.exhausted;
+      check (name ^ ": some branch commits") true (r.Mc_report.max_committed > 0);
+      check (name ^ ": commit witness recorded") true
+        (r.Mc_report.commit_witness <> None);
+      check_int (name ^ ": no deadlocked branch") 0 r.Mc_report.deadlocks;
+      check (name ^ ": exploration is nontrivial") true
+        (r.Mc_report.stats.Mc_report.states_visited > 20))
+    Kind.all
+
+let test_equivocator_does_not_trip_double_vote () =
+  (* A registered equivocating proposer sends conflicting blocks by design;
+     the double-vote invariant must exempt it (safety must still hold for
+     the honest nodes). *)
+  let r =
+    Checker.check Kind.Simple_moonshot (small_cfg ~equivocators:[ 0 ] ())
+  in
+  check_int "equivocator worlds stay violation-free" 0
+    (List.length r.Mc_report.violations);
+  check "and are fully explored" true r.Mc_report.stats.Mc_report.exhausted
+
+(* --- the deliberately broken protocol ---------------------------------------- *)
+
+module Broken_mc = Checker.Make (Test_support.Broken.Double_vote)
+
+let test_double_vote_detected () =
+  let cfg = small_cfg () in
+  let r = Broken_mc.check cfg in
+  check "the injected bug is found" true (r.Mc_report.violations <> []);
+  let v = List.hd r.Mc_report.violations in
+  check "and classified as a double vote" true
+    (v.Mc_report.kind = Mc_report.Double_vote);
+  check "with a short counterexample" true (List.length v.Mc_report.path <= 8);
+  let described = Broken_mc.describe cfg v.Mc_report.path in
+  check "describe renders every step" true
+    (List.length (String.split_on_char '\n' (String.trim described))
+    = List.length v.Mc_report.path)
+
+let test_counterexample_replay_is_byte_stable () =
+  let cfg = small_cfg () in
+  let r1 = Broken_mc.check cfg in
+  let r2 = Broken_mc.check ~jobs:3 cfg in
+  let path r =
+    match r.Mc_report.violations with
+    | v :: _ -> v.Mc_report.path
+    | [] -> Alcotest.fail "expected a counterexample"
+  in
+  check "same counterexample for any worker count" true (path r1 = path r2);
+  let jsonl () = Bft_obs.Trace.to_jsonl (Broken_mc.replay cfg (path r1)) in
+  let a = jsonl () and b = jsonl () in
+  check "replay traces are non-empty" true (String.length a > 0);
+  check "and byte-identical across runs" true (String.equal a b)
+
+(* --- determinism across worker counts ---------------------------------------- *)
+
+let test_jobs_determinism () =
+  let cfg = small_cfg () in
+  let r1 = Checker.check ~jobs:1 Kind.Simple_moonshot cfg in
+  let r4 = Checker.check ~jobs:4 Kind.Simple_moonshot cfg in
+  (* The whole report — counts, witness paths, violation lists — is plain
+     data, so structural equality is the strongest possible statement. *)
+  check "reports are structurally identical for jobs 1 vs 4" true (r1 = r4)
+
+(* --- the PR-3 regression: post-partition recovery ----------------------------- *)
+
+let test_partition_regression () =
+  (* Split 2/2 (neither side has a quorum), then heal: the checker must
+     find no stuck branch — every explored world either commits or is
+     truncated by the view bound while still able to act.  This is the
+     world in which Simple Moonshot deadlocked before the stuck-view
+     rebroadcast fix. *)
+  let sched =
+    [ FS.Partition { groups = [ [ 0; 1 ]; [ 2; 3 ] ]; from_ = 0.; until = 1000. } ]
+  in
+  match Mc_schedule.compile ~n:4 sched with
+  | Error e -> Alcotest.fail e
+  | Ok steps ->
+      check_int "partition compiles to its two edges" 2 (List.length steps);
+      let cfg = small_cfg ~faults:steps () in
+      let r = Checker.check Kind.Simple_moonshot cfg in
+      check_int "no safety violations through split and heal" 0
+        (List.length r.Mc_report.violations);
+      check "state space exhausted" true r.Mc_report.stats.Mc_report.exhausted;
+      check_int "no branch deadlocks post-heal" 0 r.Mc_report.deadlocks;
+      check "some branch commits despite the partition" true
+        (r.Mc_report.max_committed >= 1 && r.Mc_report.commit_witness <> None)
+
+(* --- the schedule compiler ---------------------------------------------------- *)
+
+let test_schedule_compile () =
+  let ok sched =
+    match Mc_schedule.compile ~n:4 sched with
+    | Ok steps -> steps
+    | Error e -> Alcotest.failf "unexpected compile error: %s" e
+  in
+  let rejected sched =
+    match Mc_schedule.compile ~n:4 sched with Ok _ -> false | Error _ -> true
+  in
+  (* Edges come out in start-time order, opening before closing. *)
+  (match
+     ok
+       [
+         FS.Crash { node = 1; at = 50. };
+         FS.Partition { groups = [ [ 0; 2 ]; [ 3 ] ]; from_ = 10.; until = 90. };
+         FS.Recover { node = 1; at = 70. };
+       ]
+   with
+  | [
+   Mc_schedule.Partition_on _;
+   Mc_schedule.Crash 1;
+   Mc_schedule.Recover 1;
+   Mc_schedule.Partition_off;
+  ] ->
+      ()
+  | steps ->
+      Alcotest.failf "unexpected linearization: %a"
+        (Format.pp_print_list Mc_schedule.pp_step)
+        steps);
+  check "link loss has no untimed meaning" true
+    (rejected [ FS.Link_loss { prob = 0.3; from_ = 0.; until = 10. } ]);
+  check "delay spikes have no untimed meaning" true
+    (rejected [ FS.Delay_spike { extra_ms = 50.; from_ = 0.; until = 10. } ]);
+  check "out-of-range node rejected" true
+    (rejected [ FS.Crash { node = 7; at = 1. } ]);
+  check "overlapping partitions rejected" true
+    (rejected
+       [
+         FS.Partition { groups = [ [ 0 ]; [ 1 ] ]; from_ = 0.; until = 20. };
+         FS.Partition { groups = [ [ 2 ]; [ 3 ] ]; from_ = 10.; until = 30. };
+       ])
+
+let () =
+  Alcotest.run "mc"
+    [
+      ( "safety",
+        [
+          Alcotest.test_case "all five protocols safe and live" `Quick
+            test_all_protocols_safe;
+          Alcotest.test_case "equivocators exempt from double-vote" `Quick
+            test_equivocator_does_not_trip_double_vote;
+        ] );
+      ( "detection",
+        [
+          Alcotest.test_case "injected double vote caught" `Quick
+            test_double_vote_detected;
+          Alcotest.test_case "counterexample replay byte-stable" `Quick
+            test_counterexample_replay_is_byte_stable;
+        ] );
+      ( "determinism",
+        [ Alcotest.test_case "jobs 1 = jobs 4" `Quick test_jobs_determinism ] );
+      ( "regression",
+        [
+          Alcotest.test_case "post-partition recovery (PR 3)" `Quick
+            test_partition_regression;
+        ] );
+      ( "schedule",
+        [ Alcotest.test_case "compile" `Quick test_schedule_compile ] );
+    ]

@@ -231,6 +231,83 @@ let test_sync_retry_rotates_targets () =
   Mock.advance mock ~to_:600.;
   check_int "quiet after resolution" before (Sync.requests_sent sync)
 
+let make_sync ~id () =
+  let mock, env = Mock.create ~n:4 ~id ~delta:100. () in
+  let core = Node_core.create env in
+  let sync =
+    Sync.create ~core ~env
+      ~make_request:(fun hash -> Message.Block_request { hash })
+      ~make_response:(fun blocks -> Message.Blocks_response { blocks })
+  in
+  (mock, core, sync)
+
+let test_sync_truncated_helper_store () =
+  (* A helper that lacks the requested block stays silent; one whose store is
+     truncated below it serves just the suffix it holds, which narrows the
+     requester's gap and redirects it at the deeper missing ancestor. *)
+  let helper_mock, helper_core, helper_sync = make_sync ~id:1 () in
+  Sync.handle_request helper_sync ~src:3 (blk 2).Block.hash;
+  check_int "unknown hash: no response" 0 (List.length (Mock.sent helper_mock));
+  Node_core.note_block helper_core (blk 3);
+  Node_core.note_block helper_core (blk 4);
+  Sync.handle_request helper_sync ~src:3 (blk 4).Block.hash;
+  (match Mock.sent helper_mock with
+  | [ Mock.Unicast (3, Message.Blocks_response { blocks }) ] ->
+      check "serves only the held suffix, oldest first" true
+        (List.map (fun (b : Block.t) -> b.Block.view) blocks = [ 3; 4 ])
+  | _ -> Alcotest.fail "expected one Blocks_response to the requester");
+  let _mock, core, sync = make_sync ~id:3 () in
+  Node_core.note_block core (blk 5);
+  Node_core.commit core (blk 5);
+  Sync.poke sync;
+  check_int "asked once" 1 (Sync.requests_sent sync);
+  Sync.handle_response sync [ blk 3; blk 4 ];
+  check "partial batch leaves the commit deferred" true
+    (Node_core.has_deferred core);
+  check_int "re-asked immediately for the deeper gap" 2
+    (Sync.requests_sent sync);
+  check_int "nothing committed yet" 0 (Node_core.committed core)
+
+let test_sync_duplicate_responses () =
+  (* Responses carry no request ids, so retries can produce duplicate and
+     overlapping batches; ingestion must be idempotent. *)
+  let _mock, core, sync = make_sync ~id:3 () in
+  Node_core.note_block core (blk 5);
+  Node_core.commit core (blk 5);
+  Sync.poke sync;
+  let batch = [ blk 1; blk 2; blk 3; blk 4 ] in
+  Sync.handle_response sync batch;
+  check_int "deferred commit completed" 5 (Node_core.committed core);
+  check "gap closed" false (Node_core.has_deferred core);
+  let asked = Sync.requests_sent sync in
+  Sync.handle_response sync batch;
+  Sync.handle_response sync [ blk 2; blk 3 ];
+  check_int "duplicate batches commit nothing further" 5
+    (Node_core.committed core);
+  check_int "and trigger no new requests" asked (Sync.requests_sent sync)
+
+let test_sync_response_after_advance () =
+  (* A slow helper's response can land after the requester already filled
+     the gap from someone else (or never asked at all): it must be a no-op,
+     and the synchronizer must settle back to its quiescent state. *)
+  let mock, core, sync = make_sync ~id:3 () in
+  Node_core.note_block core (blk 5);
+  Node_core.commit core (blk 5);
+  Sync.poke sync;
+  Sync.handle_response sync [ blk 1; blk 2; blk 3; blk 4 ];
+  check_int "committed through the tip" 5 (Node_core.committed core);
+  (* The stale retransmission arrives well after resolution. *)
+  Mock.advance mock ~to_:500.;
+  let asked = Sync.requests_sent sync in
+  Sync.handle_response sync [ blk 1; blk 2 ];
+  check_int "late batch commits nothing" 5 (Node_core.committed core);
+  check_int "and asks for nothing" asked (Sync.requests_sent sync);
+  (* Control state is indistinguishable from a fresh synchronizer once the
+     retry timer has lapsed (the model checker relies on this digest). *)
+  let _, _, fresh = make_sync ~id:3 () in
+  check "digest settles to the fresh state" true
+    (Bft_types.Hash.equal (Sync.state_hash sync) (Sync.state_hash fresh))
+
 let () =
   Alcotest.run "node-core"
     [
@@ -262,6 +339,12 @@ let () =
           Alcotest.test_case "chain segment" `Quick test_chain_segment;
           Alcotest.test_case "first missing" `Quick test_first_missing;
           Alcotest.test_case "retry rotation" `Quick test_sync_retry_rotates_targets;
+          Alcotest.test_case "truncated helper store" `Quick
+            test_sync_truncated_helper_store;
+          Alcotest.test_case "duplicate responses" `Quick
+            test_sync_duplicate_responses;
+          Alcotest.test_case "response after advance" `Quick
+            test_sync_response_after_advance;
         ] );
       ( "commits",
         [
