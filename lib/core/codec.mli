@@ -1,0 +1,67 @@
+(** Wire codecs for the Moonshot message family and the shared consensus
+    data types (blocks, certificates, timeout certificates).
+
+    The encodings are specified normatively in [docs/WIRE.md]; this module
+    implements them on top of {!Bft_net.Wire}'s primitives.  Three
+    properties the transport relies on:
+
+    - {e round-trip}: [decode (encode m) = Ok m] for every message;
+    - {e totality}: [decode] never raises — malformed input yields an
+      [Error], so a garbage frame cannot crash a node;
+    - {e exactness}: a message body is consumed in full; trailing bytes
+      are rejected, and any strict prefix of a valid body is rejected as
+      truncated.
+
+    Block hashes are never transmitted: {!Bft_types.Block.of_wire}
+    recomputes them from the header fields on decode.  Signatures are
+    abstract in this reproduction (see {!Bft_types.Wire_size}), so
+    certificates carry their signer {e count} rather than signature
+    bytes.  Proposal-carried payloads are synthetic: the wire carries
+    [size_bytes] of padding so that socket-level byte counts reflect the
+    configured payload size. *)
+
+open Bft_types
+
+(** {2 Shared data-type codecs}
+
+    Reader functions raise {!Bft_net.Wire}'s internal decode exception
+    and must run under {!Bft_net.Wire.decode_body} /
+    {!Bft_net.Wire.run_decoder}; they are exported for the Jolteon codec
+    and for tests. *)
+
+val write_payload : Bft_net.Wire.W.t -> Payload.t -> unit
+val read_payload : Bft_net.Wire.R.t -> Payload.t
+
+(** Block header only — what votes, certificates and commit votes carry;
+    no payload padding. *)
+val write_block : Bft_net.Wire.W.t -> Block.t -> unit
+
+val read_block : Bft_net.Wire.R.t -> Block.t
+
+(** Block header followed by [payload.size_bytes] bytes of padding —
+    what proposals and block-sync responses carry. *)
+val write_block_data : Bft_net.Wire.W.t -> Block.t -> unit
+
+val read_block_data : Bft_net.Wire.R.t -> Block.t
+val write_cert : Bft_net.Wire.W.t -> Cert.t -> unit
+val read_cert : Bft_net.Wire.R.t -> Cert.t
+val write_tc : Bft_net.Wire.W.t -> Tc.t -> unit
+val read_tc : Bft_net.Wire.R.t -> Tc.t
+
+(** {2 Message codec} *)
+
+(** Wire tag of a message ([0x01]-[0x0b]; see [docs/WIRE.md]). *)
+val tag : Message.t -> int
+
+(** Frame body (version, tag, fields) for a message; the transport adds
+    the length prefix ({!Bft_net.Wire.frame}). *)
+val encode : Message.t -> string
+
+(** Total inverse of {!encode} with structured errors. *)
+val decode : string -> (Message.t, Bft_net.Wire.error) result
+
+(** {!encode} / {!decode} under the names and error type
+    {!Bft_types.Protocol_intf.S} requires. *)
+val encode_msg : Message.t -> string
+
+val decode_msg : string -> (Message.t, string) result

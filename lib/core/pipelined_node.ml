@@ -543,6 +543,8 @@ let wal_consistent t =
           && s.Wal.voted_main = t.voted_main)
 
 module Mc = struct
+  let encode_msg = Codec.encode_msg
+  let decode_msg = Codec.decode_msg
   let msg_digest = Message.digest
   let pp_msg = Message.pp
   let vote_slot = Message.vote_slot

@@ -422,6 +422,8 @@ module Protocol = struct
   let cpu_cost = Message.cpu_cost
   let classify = Message.classify
   let view_of = Message.view_of
+  let encode_msg = Codec.encode_msg
+  let decode_msg = Codec.decode_msg
 
   type node = t
   type wal = Wal.t

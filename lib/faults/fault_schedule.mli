@@ -30,7 +30,10 @@ type event =
 
 type t = event list
 
+(** The fault-free schedule. *)
 val empty : t
+
+(** Whether the schedule has no events. *)
 val is_empty : t -> bool
 
 (** Start time of an event (the [at] / [from_] field). *)
@@ -47,6 +50,7 @@ val heal_times : t -> float list
     timeline. *)
 val max_concurrent_crashed : t -> int
 
+(** Number of [Crash] events in the schedule. *)
 val crash_count : t -> int
 
 (** [validate ~n ~f ~byzantine t] checks the schedule against an [n]-node
@@ -85,5 +89,8 @@ val demo :
     v} *)
 val to_string : t -> string
 
+(** Parse the {!to_string} syntax; [Error] names the offending clause. *)
 val of_string : string -> (t, string) result
+
+(** Pretty-print in the {!to_string} syntax. *)
 val pp : Format.formatter -> t -> unit

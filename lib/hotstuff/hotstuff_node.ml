@@ -16,6 +16,8 @@ module Protocol = struct
   let cpu_cost = Jolteon.Jolteon_msg.cpu_cost
   let classify = Jolteon.Jolteon_msg.classify
   let view_of = Jolteon.Jolteon_msg.view_of
+  let encode_msg = Jolteon.Jolteon_codec.encode_msg
+  let decode_msg = Jolteon.Jolteon_codec.decode_msg
 
   type node = t
   type wal = Moonshot.Wal.t

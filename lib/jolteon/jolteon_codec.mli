@@ -1,0 +1,23 @@
+(** Wire codec for the Jolteon/HotStuff message family.
+
+    Same contract as {!Moonshot.Codec} (round-trip, totality, exactness;
+    see [docs/WIRE.md]): Jolteon reuses Moonshot's block, certificate and
+    timeout-certificate encodings and occupies the disjoint tag range
+    [0x21]-[0x25], so a frame from one family can never decode as the
+    other. *)
+
+(** Wire tag of a message ([0x21]-[0x25]). *)
+val tag : Jolteon_msg.t -> int
+
+(** Frame body (version, tag, fields); the transport adds the length
+    prefix. *)
+val encode : Jolteon_msg.t -> string
+
+(** Total inverse of {!encode} with structured errors. *)
+val decode : string -> (Jolteon_msg.t, Bft_net.Wire.error) result
+
+(** {!encode} / {!decode} under the names and error type
+    {!Bft_types.Protocol_intf.S} requires. *)
+val encode_msg : Jolteon_msg.t -> string
+
+val decode_msg : string -> (Jolteon_msg.t, string) result

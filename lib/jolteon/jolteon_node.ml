@@ -399,6 +399,8 @@ module Protocol = struct
   let cpu_cost = Jolteon_msg.cpu_cost
   let classify = Jolteon_msg.classify
   let view_of = Jolteon_msg.view_of
+  let encode_msg = Jolteon_codec.encode_msg
+  let decode_msg = Jolteon_codec.decode_msg
 
   type node = t
   type wal = Wal.t

@@ -1,0 +1,752 @@
+open Bft_types
+module W = Wire.W
+module R = Wire.R
+
+let log_src = Logs.Src.create "moonshot.net" ~doc:"TCP transport backend"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type mode = Threads | Processes
+
+type config = {
+  n : int;
+  delta_ms : float;
+  payload_bytes : int;
+  target_blocks : int;
+  timeout_ms : float;
+  mode : mode;
+  base_port : int option;
+  leader_of : int -> int;
+  trace : bool;
+  protocol_name : string;
+}
+
+let default ~n ~target_blocks =
+  {
+    n;
+    delta_ms = 1000.;
+    payload_bytes = 0;
+    target_blocks;
+    timeout_ms = 60_000.;
+    mode = Threads;
+    base_port = None;
+    leader_of = (fun view -> view mod n);
+    trace = false;
+    protocol_name = "";
+  }
+
+type commit = {
+  c_height : int;
+  c_view : int;
+  c_hash : int64;
+  c_time_ms : float;
+}
+
+type proposal = { p_height : int; p_hash : int64; p_time_ms : float }
+
+type node_result = {
+  id : int;
+  commits : commit list;
+  proposals : proposal list;
+  trace_lines : string list;
+  decode_errors : int;
+  messages_sent : int;
+  bytes_sent : int;
+}
+
+type result = {
+  nodes : node_result array;
+  wall_ms : float;
+  reached_target : bool;
+}
+
+let empty_node_result id =
+  {
+    id;
+    commits = [];
+    proposals = [];
+    trace_lines = [];
+    decode_errors = 0;
+    messages_sent = 0;
+    bytes_sent = 0;
+  }
+
+(* --- transport-level hello frame (tag 0x00) ------------------------------- *)
+
+let hello_tag = 0x00
+
+let encode_hello ~id ~n ~protocol =
+  Wire.encode_body ~tag:hello_tag (fun w ->
+      W.uvar w id;
+      W.uvar w n;
+      W.bytes w protocol)
+
+let decode_hello body =
+  Wire.decode_body body (fun tag r ->
+      if tag <> hello_tag then Wire.bad_tag tag;
+      let id = R.uvar r in
+      let n = R.uvar r in
+      let protocol = R.bytes r in
+      (id, n, protocol))
+
+(* --- result blobs (process mode, child -> coordinator pipe) --------------- *)
+
+let encode_node_result r =
+  let w = W.create () in
+  W.uvar w r.id;
+  W.list w
+    (fun w c ->
+      W.uvar w c.c_height;
+      W.uvar w c.c_view;
+      W.u64 w c.c_hash;
+      W.f64 w c.c_time_ms)
+    r.commits;
+  W.list w
+    (fun w p ->
+      W.uvar w p.p_height;
+      W.u64 w p.p_hash;
+      W.f64 w p.p_time_ms)
+    r.proposals;
+  W.uvar w r.decode_errors;
+  W.uvar w r.messages_sent;
+  W.uvar w r.bytes_sent;
+  W.list w W.bytes r.trace_lines;
+  W.contents w
+
+let decode_node_result body =
+  Wire.run_decoder (fun () ->
+      let r = R.of_string body in
+      let id = R.uvar r in
+      let commits =
+        R.list r (fun r ->
+            let c_height = R.uvar r in
+            let c_view = R.uvar r in
+            let c_hash = R.u64 r in
+            let c_time_ms = R.f64 r in
+            { c_height; c_view; c_hash; c_time_ms })
+      in
+      let proposals =
+        R.list r (fun r ->
+            let p_height = R.uvar r in
+            let p_hash = R.u64 r in
+            let p_time_ms = R.f64 r in
+            { p_height; p_hash; p_time_ms })
+      in
+      let decode_errors = R.uvar r in
+      let messages_sent = R.uvar r in
+      let bytes_sent = R.uvar r in
+      let trace_lines = R.list r R.bytes in
+      R.expect_end r;
+      {
+        id;
+        commits;
+        proposals;
+        trace_lines;
+        decode_errors;
+        messages_sent;
+        bytes_sent;
+      })
+
+(* --- one validator -------------------------------------------------------- *)
+
+let now_ms t0 = (Unix.gettimeofday () -. t0) *. 1000.
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+(* The executor polls the stop flag between select rounds; this caps how
+   long shutdown waits on an idle cluster without costing anything on an
+   active one (inbound traffic wakes select immediately). *)
+let max_select_s = 0.02
+
+let node_main (type m) (module P : Protocol_intf.S with type msg = m)
+    (cfg : config) ~id ~t0 ~listener ~(ports : int array)
+    ~(stop : bool Atomic.t) ~on_done ~(ctl_fd : Unix.file_descr option) :
+    node_result =
+  let commits = ref [] and ncommits = ref 0 and done_sent = ref false in
+  let proposals = ref [] in
+  let trace_lines = ref [] in
+  let decode_errors = ref 0 in
+  let messages_sent = ref 0 and bytes_sent = ref 0 in
+  let emit kind =
+    if cfg.trace then
+      trace_lines :=
+        Bft_obs.Trace.event_to_json
+          { Bft_obs.Trace.time = now_ms t0; node = id; kind }
+        :: !trace_lines
+  in
+  (* Sender thread: owns the outbound connections; the executor never
+     blocks on a peer's full socket buffer, so two mutually loaded nodes
+     cannot write-deadlock each other. *)
+  let squeue : (int * string) Queue.t = Queue.create () in
+  let quit = ref false in
+  let qm = Mutex.create () and qc = Condition.create () in
+  let push_send dst frame =
+    Mutex.lock qm;
+    Queue.push (dst, frame) squeue;
+    Condition.signal qc;
+    Mutex.unlock qm
+  in
+  let hello =
+    Wire.frame (encode_hello ~id ~n:cfg.n ~protocol:cfg.protocol_name)
+  in
+  let sender () =
+    let outs = Array.make cfg.n None in
+    let connect dst =
+      match outs.(dst) with
+      | Some fd -> Some fd
+      | None -> (
+          try
+            let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+            (try Unix.setsockopt fd Unix.TCP_NODELAY true
+             with Unix.Unix_error _ -> ());
+            let rec attempt tries =
+              try
+                Unix.connect fd
+                  (Unix.ADDR_INET (Unix.inet_addr_loopback, ports.(dst)))
+              with
+              | Unix.Unix_error
+                  ((ECONNREFUSED | ECONNABORTED | EAGAIN), _, _)
+                when tries > 0 && not !quit ->
+                  Thread.delay 0.02;
+                  attempt (tries - 1)
+            in
+            attempt 50;
+            Wire.write_all fd hello;
+            outs.(dst) <- Some fd;
+            Some fd
+          with Unix.Unix_error _ -> None)
+    in
+    let rec loop () =
+      Mutex.lock qm;
+      while Queue.is_empty squeue && not !quit do
+        Condition.wait qc qm
+      done;
+      (* Quit is terminal: anything still queued is best-effort traffic
+         to peers that are shutting down too — drop it rather than burn
+         the connect-retry budget against closed listeners. *)
+      let item = if !quit then None else Queue.take_opt squeue in
+      Mutex.unlock qm;
+      match item with
+      | None ->
+          Array.iter (Option.iter close_quiet) outs
+      | Some (dst, frame) ->
+          (match connect dst with
+          | None -> ()
+          | Some fd -> (
+              try
+                Wire.write_all fd frame;
+                incr messages_sent;
+                bytes_sent := !bytes_sent + String.length frame
+              with Unix.Unix_error _ ->
+                close_quiet fd;
+                outs.(dst) <- None));
+          loop ()
+    in
+    loop ()
+  in
+  let sender_t = Thread.create sender () in
+  (* Wall-clock timers; touched only by the executor thread. *)
+  let timers : (float * bool ref * (unit -> unit)) list ref = ref [] in
+  let set_timer delay f =
+    let cancelled = ref false in
+    timers := (now_ms t0 +. delay, cancelled, f) :: !timers;
+    fun () -> cancelled := true
+  in
+  let fire_due () =
+    let now = now_ms t0 in
+    let due, rest =
+      List.partition (fun (d, c, _) -> (not !c) && d <= now) !timers
+    in
+    timers := List.filter (fun (_, c, _) -> not !c) rest;
+    List.iter
+      (fun (_, _, f) -> f ())
+      (List.sort (fun (a, _, _) (b, _, _) -> Float.compare a b) due)
+  in
+  let next_deadline () =
+    List.fold_left
+      (fun acc (d, c, _) -> if !c then acc else Float.min acc d)
+      infinity !timers
+  in
+  let selfq : m Queue.t = Queue.create () in
+  let validators = Validator_set.make cfg.n in
+  let env =
+    {
+      Env.id;
+      validators;
+      delta = cfg.delta_ms;
+      now = (fun () -> now_ms t0);
+      send =
+        (fun dst msg ->
+          if dst = id then Queue.push msg selfq
+          else push_send dst (Wire.frame (P.encode_msg msg)));
+      multicast =
+        (fun msg ->
+          let frame = Wire.frame (P.encode_msg msg) in
+          for dst = 0 to cfg.n - 1 do
+            if dst = id then Queue.push msg selfq else push_send dst frame
+          done);
+      set_timer;
+      leader_of = cfg.leader_of;
+      make_payload =
+        (fun ~view -> Payload.make ~id:view ~size_bytes:cfg.payload_bytes);
+      on_commit =
+        (fun b ->
+          commits :=
+            {
+              c_height = b.Block.height;
+              c_view = b.Block.view;
+              c_hash = Hash.to_int64 b.Block.hash;
+              c_time_ms = now_ms t0;
+            }
+            :: !commits;
+          incr ncommits;
+          emit
+            (Bft_obs.Trace.Committed
+               { view = b.Block.view; height = b.Block.height });
+          if !ncommits >= cfg.target_blocks && not !done_sent then begin
+            done_sent := true;
+            on_done ()
+          end);
+      on_propose =
+        (fun b ->
+          proposals :=
+            {
+              p_height = b.Block.height;
+              p_hash = Hash.to_int64 b.Block.hash;
+              p_time_ms = now_ms t0;
+            }
+            :: !proposals);
+      probe =
+        (if cfg.trace then
+           Some (fun ev -> emit (Bft_obs.Trace.Node_event ev))
+         else None);
+    }
+  in
+  let conns : (Unix.file_descr * int) list ref = ref [] in
+  let close_conn fd =
+    conns := List.filter (fun (fd', _) -> fd' <> fd) !conns;
+    close_quiet fd
+  in
+  (try
+     let node = P.create env in
+     let deliver ~src ~bytes msg =
+       if cfg.trace then
+         emit
+           (Bft_obs.Trace.Delivered
+              {
+                src;
+                cls = P.classify msg;
+                view = P.view_of msg;
+                bytes;
+              });
+       P.handle node ~src msg
+     in
+     let rec drain_self () =
+       match Queue.take_opt selfq with
+       | None -> ()
+       | Some msg ->
+           let bytes =
+             if cfg.trace then String.length (P.encode_msg msg) + 4 else 0
+           in
+           deliver ~src:id ~bytes msg;
+           drain_self ()
+     in
+     let accept_conn () =
+       match Unix.accept listener with
+       | exception Unix.Unix_error _ -> ()
+       | fd, _ -> (
+           (try Unix.setsockopt fd Unix.TCP_NODELAY true
+            with Unix.Unix_error _ -> ());
+           match Wire.read_frame fd with
+           | Ok body -> (
+               match decode_hello body with
+               | Ok (src, n', proto)
+                 when src >= 0 && src < cfg.n && src <> id && n' = cfg.n
+                      && String.equal proto cfg.protocol_name ->
+                   conns := (fd, src) :: !conns
+               | Ok _ | Error _ -> close_quiet fd)
+           | Error _ | (exception Unix.Unix_error _) -> close_quiet fd)
+     in
+     P.start node;
+     drain_self ();
+     let hard_deadline = cfg.timeout_ms +. 5000. in
+     while not (Atomic.get stop) do
+       fire_due ();
+       drain_self ();
+       if now_ms t0 > hard_deadline then Atomic.set stop true
+       else begin
+         let timeout =
+           let d = (next_deadline () -. now_ms t0) /. 1000. in
+           Float.max 0. (Float.min d max_select_s)
+         in
+         let fds =
+           (listener :: (match ctl_fd with Some f -> [ f ] | None -> []))
+           @ List.map fst !conns
+         in
+         match Unix.select fds [] [] timeout with
+         | exception Unix.Unix_error (EINTR, _, _) -> ()
+         | ready, _, _ ->
+             List.iter
+               (fun fd ->
+                 if fd = listener then accept_conn ()
+                 else if ctl_fd = Some fd then Atomic.set stop true
+                 else
+                   match List.assoc_opt fd !conns with
+                   | None -> ()
+                   | Some src -> (
+                       match Wire.read_frame fd with
+                       | Ok body -> (
+                           match P.decode_msg body with
+                           | Ok msg ->
+                               deliver ~src
+                                 ~bytes:(String.length body + 4)
+                                 msg;
+                               drain_self ()
+                           | Error reason ->
+                               incr decode_errors;
+                               Log.debug (fun m ->
+                                   m "node %d: dropped frame from %d: %s"
+                                     id src reason))
+                       | Error `Closed -> close_conn fd
+                       | Error (`Frame_error e) ->
+                           incr decode_errors;
+                           Log.debug (fun m ->
+                               m "node %d: framing error from %d: %s" id src
+                                 (Wire.error_to_string e));
+                           close_conn fd
+                       | exception Unix.Unix_error _ -> close_conn fd))
+               ready
+       end
+     done
+   with exn ->
+     Log.err (fun m ->
+         m "node %d: executor died: %s" id (Printexc.to_string exn)));
+  (* Shutdown: closing the inbound side first unblocks every peer sender
+     that might be mid-write to us, then our own sender is reaped. *)
+  List.iter (fun (fd, _) -> close_quiet fd) !conns;
+  close_quiet listener;
+  Mutex.lock qm;
+  quit := true;
+  Condition.signal qc;
+  Mutex.unlock qm;
+  Thread.join sender_t;
+  {
+    id;
+    commits = List.rev !commits;
+    proposals = List.rev !proposals;
+    trace_lines = List.rev !trace_lines;
+    decode_errors = !decode_errors;
+    messages_sent = !messages_sent;
+    bytes_sent = !bytes_sent;
+  }
+
+(* --- coordination --------------------------------------------------------- *)
+
+let make_listener ~port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  (try Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port))
+   with e ->
+     close_quiet fd;
+     raise e);
+  Unix.listen fd 64;
+  match Unix.getsockname fd with
+  | Unix.ADDR_INET (_, actual) -> (fd, actual)
+  | _ -> assert false
+
+let validate cfg =
+  if cfg.n < 1 then invalid_arg "Tcp.run: n < 1";
+  if cfg.target_blocks < 1 then invalid_arg "Tcp.run: target_blocks < 1";
+  if cfg.timeout_ms <= 0. then invalid_arg "Tcp.run: non-positive timeout";
+  match cfg.base_port with
+  | Some p when p < 1 || p + cfg.n > 65536 ->
+      invalid_arg "Tcp.run: port range out of bounds"
+  | _ -> ()
+
+let run_threads (type m) (module P : Protocol_intf.S with type msg = m) cfg
+    ~listeners ~ports ~t0 =
+  let stop = Atomic.make false in
+  let done_count = Atomic.make 0 in
+  let results = Array.map (fun _ -> None) listeners in
+  let threads =
+    Array.mapi
+      (fun i (listener, _) ->
+        Thread.create
+          (fun () ->
+            let r =
+              node_main
+                (module P : Protocol_intf.S with type msg = m)
+                cfg ~id:i ~t0 ~listener ~ports ~stop ~ctl_fd:None
+                ~on_done:(fun () -> Atomic.incr done_count)
+            in
+            results.(i) <- Some r)
+          ())
+      listeners
+  in
+  let deadline = t0 +. (cfg.timeout_ms /. 1000.) in
+  while Atomic.get done_count < cfg.n && Unix.gettimeofday () < deadline do
+    Thread.delay 0.002
+  done;
+  let reached = Atomic.get done_count >= cfg.n in
+  Atomic.set stop true;
+  Array.iter Thread.join threads;
+  {
+    nodes =
+      Array.mapi
+        (fun i -> function Some r -> r | None -> empty_node_result i)
+        results;
+    wall_ms = now_ms t0;
+    reached_target = reached;
+  }
+
+let run_processes (type m) (module P : Protocol_intf.S with type msg = m) cfg
+    ~(listeners : (Unix.file_descr * int) array) ~ports ~t0 =
+  (* result pipe child -> parent; control pipe parent -> child *)
+  let pipes =
+    Array.map
+      (fun _ ->
+        let r, w = Unix.pipe () in
+        let cr, cw = Unix.pipe () in
+        (r, w, cr, cw))
+      listeners
+  in
+  let pids =
+    Array.mapi
+      (fun i (listener, _) ->
+        match Unix.fork () with
+        | 0 ->
+            Array.iteri
+              (fun j (l, _) -> if j <> i then close_quiet l)
+              listeners;
+            Array.iteri
+              (fun j (r, w, cr, cw) ->
+                if j <> i then begin
+                  close_quiet r;
+                  close_quiet w;
+                  close_quiet cr;
+                  close_quiet cw
+                end)
+              pipes;
+            let r, w, cr, cw = pipes.(i) in
+            close_quiet r;
+            close_quiet cw;
+            let stop = Atomic.make false in
+            let result =
+              try
+                node_main
+                  (module P : Protocol_intf.S with type msg = m)
+                  cfg ~id:i ~t0 ~listener ~ports ~stop ~ctl_fd:(Some cr)
+                  ~on_done:(fun () ->
+                    try ignore (Unix.write_substring w "D" 0 1)
+                    with Unix.Unix_error _ -> ())
+              with _ -> empty_node_result i
+            in
+            (try
+               ignore (Unix.write_substring w "R" 0 1);
+               Wire.write_all w (Wire.frame (encode_node_result result))
+             with _ -> ());
+            close_quiet w;
+            Unix._exit 0
+        | pid -> pid)
+      listeners
+  in
+  Array.iter (fun (l, _) -> close_quiet l) listeners;
+  Array.iter
+    (fun (_, w, cr, _) ->
+      close_quiet w;
+      close_quiet cr)
+    pipes;
+  (* Phase 1: wait until every child reports its target reached ('D'), a
+     child dies early (EOF / stray byte), or the deadline passes. *)
+  let settled = Array.map (fun _ -> false) pipes in
+  let target_met = Array.map (fun _ -> false) pipes in
+  let early_byte = Array.map (fun _ -> None) pipes in
+  let deadline = t0 +. (cfg.timeout_ms /. 1000.) in
+  let fd_index fd =
+    let found = ref (-1) in
+    Array.iteri (fun i (r, _, _, _) -> if r = fd then found := i) pipes;
+    !found
+  in
+  let pending () =
+    Array.exists not settled && Unix.gettimeofday () < deadline
+  in
+  while pending () do
+    let fds =
+      Array.to_list
+        (Array.mapi (fun i (r, _, _, _) -> (i, r)) pipes)
+      |> List.filter_map (fun (i, r) -> if settled.(i) then None else Some r)
+    in
+    match Unix.select fds [] [] 0.05 with
+    | exception Unix.Unix_error (EINTR, _, _) -> ()
+    | ready, _, _ ->
+        List.iter
+          (fun fd ->
+            let i = fd_index fd in
+            let buf = Bytes.create 1 in
+            match Unix.read fd buf 0 1 with
+            | 0 -> settled.(i) <- true
+            | _ ->
+                settled.(i) <- true;
+                if Bytes.get buf 0 = 'D' then target_met.(i) <- true
+                else early_byte.(i) <- Some (Bytes.get buf 0)
+            | exception Unix.Unix_error _ -> settled.(i) <- true)
+          ready
+  done;
+  let reached = Array.for_all (fun b -> b) target_met in
+  (* Phase 2: tell every child to stop, then collect result blobs. *)
+  Array.iter
+    (fun (_, _, _, cw) ->
+      (try ignore (Unix.write_substring cw "S" 0 1)
+       with Unix.Unix_error _ -> ());
+      close_quiet cw)
+    pipes;
+  let read_result i =
+    let r, _, _, _ = pipes.(i) in
+    let blob_deadline = Unix.gettimeofday () +. 10. in
+    let rec await_marker () =
+      match early_byte.(i) with
+      | Some 'R' ->
+          early_byte.(i) <- None;
+          true
+      | Some _ ->
+          early_byte.(i) <- None;
+          false
+      | None -> (
+          match Unix.select [ r ] [] [] 0.1 with
+          | exception Unix.Unix_error (EINTR, _, _) -> await_marker ()
+          | [], _, _ ->
+              if Unix.gettimeofday () < blob_deadline then await_marker ()
+              else false
+          | _ -> (
+              let buf = Bytes.create 1 in
+              match Unix.read r buf 0 1 with
+              | 0 -> false
+              | _ ->
+                  if Bytes.get buf 0 = 'R' then true
+                  else await_marker ()
+              | exception Unix.Unix_error _ -> false))
+    in
+    let result =
+      if not (await_marker ()) then empty_node_result i
+      else
+        match Wire.read_frame r with
+        | Ok body -> (
+            match decode_node_result body with
+            | Ok nr -> nr
+            | Error _ -> empty_node_result i)
+        | Error _ | (exception Unix.Unix_error _) -> empty_node_result i
+    in
+    close_quiet r;
+    result
+  in
+  let nodes = Array.init cfg.n read_result in
+  Array.iteri
+    (fun i pid ->
+      match Unix.waitpid [ Unix.WNOHANG ] pid with
+      | 0, _ ->
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          ignore (Unix.waitpid [] pid)
+      | _ -> ()
+      | exception Unix.Unix_error _ -> ignore i)
+    pids;
+  { nodes; wall_ms = now_ms t0; reached_target = reached }
+
+let run (type m) (module P : Protocol_intf.S with type msg = m) cfg =
+  validate cfg;
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
+  let listeners =
+    Array.init cfg.n (fun i ->
+        make_listener
+          ~port:(match cfg.base_port with None -> 0 | Some b -> b + i))
+  in
+  let ports = Array.map snd listeners in
+  let t0 = Unix.gettimeofday () in
+  match cfg.mode with
+  | Threads ->
+      run_threads
+        (module P : Protocol_intf.S with type msg = m)
+        cfg ~listeners ~ports ~t0
+  | Processes ->
+      run_processes
+        (module P : Protocol_intf.S with type msg = m)
+        cfg ~listeners ~ports ~t0
+
+(* --- post-hoc aggregation -------------------------------------------------- *)
+
+(* Commits of each block across nodes, with the quorum-th commit when the
+   block reached [quorum] nodes. *)
+let quorum_commits result ~quorum =
+  let tbl : (int64, (int * commit) list) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun nr ->
+      List.iter
+        (fun c ->
+          let prev =
+            Option.value (Hashtbl.find_opt tbl c.c_hash) ~default:[]
+          in
+          Hashtbl.replace tbl c.c_hash ((nr.id, c) :: prev))
+        nr.commits)
+    result.nodes;
+  Hashtbl.fold
+    (fun _hash entries acc ->
+      if List.length entries >= quorum then
+        let sorted =
+          List.sort
+            (fun (_, a) (_, b) -> Float.compare a.c_time_ms b.c_time_ms)
+            entries
+        in
+        List.nth sorted (quorum - 1) :: acc
+      else acc)
+    tbl []
+
+let t_of_line line =
+  try Scanf.sscanf line "{\"t\":%f" (fun t -> t) with _ -> 0.
+
+let merged_trace result ~quorum =
+  let tagged =
+    Array.fold_left
+      (fun acc nr ->
+        List.fold_left
+          (fun acc line -> (t_of_line line, nr.id, line) :: acc)
+          acc nr.trace_lines)
+      [] result.nodes
+  in
+  let qlines =
+    List.map
+      (fun (qnode, qc) ->
+        ( qc.c_time_ms,
+          qnode,
+          Bft_obs.Trace.event_to_json
+            {
+              Bft_obs.Trace.time = qc.c_time_ms;
+              node = qnode;
+              kind =
+                Bft_obs.Trace.Quorum_commit
+                  { view = qc.c_view; height = qc.c_height };
+            } ))
+      (quorum_commits result ~quorum)
+  in
+  List.rev tagged @ qlines
+  |> List.stable_sort (fun (ta, na, _) (tb, nb, _) ->
+         match Float.compare ta tb with
+         | 0 -> Int.compare na nb
+         | c -> c)
+  |> List.map (fun (_, _, line) -> line)
+
+let quorum_latencies result ~quorum =
+  let created : (int64, float) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun nr ->
+      List.iter
+        (fun p ->
+          match Hashtbl.find_opt created p.p_hash with
+          | Some t when t <= p.p_time_ms -> ()
+          | _ -> Hashtbl.replace created p.p_hash p.p_time_ms)
+        nr.proposals)
+    result.nodes;
+  quorum_commits result ~quorum
+  |> List.filter_map (fun (_, qc) ->
+         Option.map
+           (fun t -> (qc.c_height, qc.c_time_ms -. t))
+           (Hashtbl.find_opt created qc.c_hash))
+  |> List.sort (fun (a, _) (b, _) -> Int.compare a b)

@@ -1,0 +1,103 @@
+(** Live-network execution substrate: the same protocol nodes the
+    simulator drives, run over real TCP sockets on localhost.
+
+    {!run} launches an [n]-validator cluster in which every node is the
+    unmodified event-driven state machine behind
+    {!Bft_types.Protocol_intf.S} — only its {!Bft_types.Env.t} differs:
+    [send]/[multicast] encode messages with the protocol's wire codec and
+    write frames to per-peer TCP connections, [set_timer] arms wall-clock
+    timers, and [now] reads the wall clock (milliseconds since cluster
+    start).  Two execution modes share all of this code:
+
+    - {!Threads}: each validator is one executor thread (plus a sender
+      thread) inside the calling process;
+    - {!Processes}: each validator is a forked child process; results
+      travel back to the coordinator over pipes as
+      {!Bft_net.Wire}-encoded blobs.
+
+    Topology: full mesh.  Node [i] listens on one TCP port; for sending,
+    it opens one connection to each peer and writes frames only on it, so
+    every connection carries one direction of one ordered pair and TCP
+    gives per-pair FIFO delivery.  The first frame on every connection is
+    a [hello] (tag [0x00]) naming the sender id, the cluster size and the
+    protocol, letting the receiver attribute (and validate) all later
+    frames.  Malformed frame {e bodies} are counted and skipped;
+    desynchronizing framing errors (a bad length prefix, a mid-frame EOF)
+    close only the offending connection — neither crashes a node.
+
+    The cluster runs until every node has committed [target_blocks]
+    blocks (each node keeps running after reaching its own target so its
+    votes keep serving slower peers) or until [timeout_ms] of wall time,
+    whichever is first. *)
+
+open Bft_types
+
+type mode = Threads | Processes
+
+type config = {
+  n : int;  (** Cluster size. *)
+  delta_ms : float;  (** Delay bound handed to the nodes (timer base). *)
+  payload_bytes : int;  (** Per-block payload size (padding on the wire). *)
+  target_blocks : int;  (** Stop once every node committed this many. *)
+  timeout_ms : float;  (** Wall-clock safety net. *)
+  mode : mode;
+  base_port : int option;
+      (** Node [i] listens on [base + i]; [None] = kernel-assigned
+          ephemeral ports (safe for parallel test runs). *)
+  leader_of : int -> int;  (** Leader schedule, as in the simulator. *)
+  trace : bool;  (** Record {!Bft_obs.Trace}-format JSONL events. *)
+  protocol_name : string;
+      (** Advertised in the [hello] frame; a receiver drops connections
+          whose hello names a different protocol or cluster size. *)
+}
+
+(** [default ~n ~target_blocks] — threads mode, ephemeral ports, empty
+    payload, [delta] 1 s, round-robin leaders, 60 s timeout, no trace. *)
+val default : n:int -> target_blocks:int -> config
+
+(** One block commit as observed by one node, in local commit order. *)
+type commit = {
+  c_height : int;
+  c_view : int;
+  c_hash : int64;
+  c_time_ms : float;  (** Wall ms since cluster start. *)
+}
+
+(** One first-broadcast of a block by its proposer ({!Bft_types.Env.t}'s
+    [on_propose]) — the creation timestamp of the latency metric. *)
+type proposal = { p_height : int; p_hash : int64; p_time_ms : float }
+
+type node_result = {
+  id : int;
+  commits : commit list;  (** Commit order = chain order. *)
+  proposals : proposal list;
+  trace_lines : string list;
+      (** {!Bft_obs.Trace.event_to_json} lines in emission order;
+          [[]] when untraced. *)
+  decode_errors : int;  (** Malformed frame bodies skipped. *)
+  messages_sent : int;  (** Frames written to peers (self excluded). *)
+  bytes_sent : int;  (** Wire bytes written, length prefixes included. *)
+}
+
+type result = {
+  nodes : node_result array;
+  wall_ms : float;  (** Run length, cluster start to shutdown. *)
+  reached_target : bool;
+      (** Every node committed [target_blocks] before the timeout. *)
+}
+
+(** Run a cluster.  Raises [Invalid_argument] on a config with [n < 1],
+    a non-positive target, or a fixed port range that does not fit. *)
+val run : (module Protocol_intf.S with type msg = 'm) -> config -> result
+
+(** [merged_trace result ~quorum] interleaves every node's trace lines
+    into one time-sorted JSONL document and synthesizes the
+    [quorum_commit] event for each block committed by at least [quorum]
+    nodes — the same event families a traced simulator run emits, so
+    sim and socket traces feed the same latency tooling. *)
+val merged_trace : result -> quorum:int -> string list
+
+(** Per-block quorum-commit latency samples [(height, latency_ms)]:
+    time from first proposal to the [quorum]-th node's commit, for
+    blocks that reached it. *)
+val quorum_latencies : result -> quorum:int -> (int * float) list

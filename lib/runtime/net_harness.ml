@@ -1,0 +1,135 @@
+let quorum ~n = n - ((n - 1) / 3)
+
+let config kind ~n ~blocks =
+  {
+    (Bft_net.Tcp.default ~n ~target_blocks:blocks) with
+    Bft_net.Tcp.leader_of =
+      Bft_workload.Schedules.leader_of Bft_workload.Schedules.Round_robin ~n
+        ~f':0;
+    protocol_name = Protocol_kind.name kind;
+  }
+
+let run kind cfg =
+  match kind with
+  | Protocol_kind.Simple_moonshot ->
+      Bft_net.Tcp.run (module Moonshot.Simple_node.Protocol) cfg
+  | Protocol_kind.Pipelined_moonshot ->
+      Bft_net.Tcp.run (module Moonshot.Pipelined_node.Protocol) cfg
+  | Protocol_kind.Commit_moonshot ->
+      Bft_net.Tcp.run (module Moonshot.Pipelined_node.Commit_protocol) cfg
+  | Protocol_kind.Jolteon ->
+      Bft_net.Tcp.run (module Jolteon.Jolteon_node.Protocol) cfg
+  | Protocol_kind.Hotstuff ->
+      Bft_net.Tcp.run (module Hotstuff.Hotstuff_node.Protocol) cfg
+
+let check (result : Bft_net.Tcp.result) ~target =
+  let open Bft_net.Tcp in
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  if not result.reached_target then
+    fail "cluster did not reach %d blocks within the timeout" target
+  else
+    let problems =
+      Array.to_list result.nodes
+      |> List.filter_map (fun nr ->
+             let k = List.length nr.commits in
+             if k < target then
+               Some
+                 (Printf.sprintf "node %d committed only %d/%d blocks" nr.id k
+                    target)
+             else
+               List.find_mapi
+                 (fun i c ->
+                   if c.c_height <> i + 1 then
+                     Some
+                       (Printf.sprintf
+                          "node %d: commit %d has height %d, expected %d"
+                          nr.id i c.c_height (i + 1))
+                   else None)
+                 nr.commits)
+    in
+    match problems with
+    | p :: _ -> Error p
+    | [] -> (
+        (* Pairwise common-prefix agreement against node 0. *)
+        let hashes nr =
+          Array.of_list (List.map (fun c -> c.c_hash) nr.commits)
+        in
+        let h0 = hashes result.nodes.(0) in
+        let disagrees =
+          Array.to_list result.nodes
+          |> List.find_map (fun nr ->
+                 let h = hashes nr in
+                 let common = min (Array.length h0) (Array.length h) in
+                 let rec scan i =
+                   if i >= common then None
+                   else if h.(i) <> h0.(i) then
+                     Some
+                       (Printf.sprintf
+                          "nodes 0 and %d disagree at height %d: %Lx vs %Lx"
+                          nr.id (i + 1) h0.(i) h.(i))
+                   else scan (i + 1)
+                 in
+                 scan 0)
+        in
+        match disagrees with Some p -> Error p | None -> Ok ())
+
+type commit_id = { height : int; view : int; hash : int64 }
+
+type crossval = {
+  sim_commits : commit_id list;
+  net_commits : commit_id list;
+  agree : bool;
+}
+
+let cross_validate ?(n = 4) ?(payload_bytes = 0) ~protocol ~blocks () =
+  (* Simulator side: the happy-path local config, long enough for [blocks]
+     commits at node 0 with room to spare. *)
+  let sim_cfg =
+    {
+      (Config.local protocol ~n) with
+      Config.payload_bytes;
+      duration_ms = 5_000. +. (float_of_int blocks *. 200.);
+    }
+  in
+  let sim_acc = ref [] in
+  let (_ : Harness.run_result) =
+    Harness.run
+      ~on_commit:(fun ~node b ->
+        if node = 0 then
+          sim_acc :=
+            {
+              height = b.Bft_types.Block.height;
+              view = b.Bft_types.Block.view;
+              hash = Bft_types.Hash.to_int64 b.Bft_types.Block.hash;
+            }
+            :: !sim_acc)
+      sim_cfg
+  in
+  let take k l = List.filteri (fun i _ -> i < k) l in
+  let sim_commits = take blocks (List.rev !sim_acc) in
+  if List.length sim_commits < blocks then
+    failwith
+      (Printf.sprintf "crossval: simulator committed only %d/%d blocks"
+         (List.length sim_commits) blocks);
+  (* Socket side: same n, same round-robin schedule, same payloads; delta
+     large enough that localhost never times out. *)
+  let net_cfg =
+    { (config protocol ~n ~blocks) with Bft_net.Tcp.payload_bytes }
+  in
+  let result = run protocol net_cfg in
+  let net_commits =
+    take blocks
+      (List.map
+         (fun c ->
+           {
+             height = c.Bft_net.Tcp.c_height;
+             view = c.Bft_net.Tcp.c_view;
+             hash = c.Bft_net.Tcp.c_hash;
+           })
+         result.Bft_net.Tcp.nodes.(0).Bft_net.Tcp.commits)
+  in
+  if List.length net_commits < blocks then
+    failwith
+      (Printf.sprintf "crossval: TCP cluster committed only %d/%d blocks"
+         (List.length net_commits) blocks);
+  { sim_commits; net_commits; agree = sim_commits = net_commits }

@@ -1,0 +1,49 @@
+(** Runs the protocol suite over the live-network substrate ({!Bft_net.Tcp})
+    and cross-validates it against the simulator.
+
+    {!Harness} drives a protocol through the discrete-event simulator;
+    this module drives the {e same} node modules over real localhost TCP
+    sockets, dispatching on {!Protocol_kind.t} exactly like {!Harness.run}
+    does.  It also hosts the substrate-equivalence check: on a fault-free
+    schedule whose [delta] dwarfs localhost jitter, no timeout ever fires,
+    so the committed chain is a pure function of the protocol — both
+    substrates must produce the identical commit sequence, and
+    {!cross_validate} asserts they do. *)
+
+(** The commit quorum [n - f] with [f = (n - 1) / 3] — the number of
+    nodes whose commit makes a block final for latency accounting. *)
+val quorum : n:int -> int
+
+(** [config kind ~n ~blocks] — a {!Bft_net.Tcp.config} wired for
+    [kind]: round-robin leader schedule, the protocol's canonical name in
+    the hello frame, [delta_ms] 1000 (no timeouts on localhost),
+    ephemeral ports.  Override fields as usual with record update. *)
+val config : Protocol_kind.t -> n:int -> blocks:int -> Bft_net.Tcp.config
+
+(** Launch a cluster of the given protocol (see {!Bft_net.Tcp.run}). *)
+val run : Protocol_kind.t -> Bft_net.Tcp.config -> Bft_net.Tcp.result
+
+(** Post-run sanity assertions: the run reached its target, every node
+    committed at least [target] blocks, per-node commit heights are
+    consecutive from height 1, and all nodes agree on their common prefix
+    (same hash at same height).  Returns a human-readable reason on
+    failure. *)
+val check : Bft_net.Tcp.result -> target:int -> (unit, string) result
+
+(** One commit as compared across substrates. *)
+type commit_id = { height : int; view : int; hash : int64 }
+
+type crossval = {
+  sim_commits : commit_id list;  (** Node 0's first [blocks] sim commits. *)
+  net_commits : commit_id list;  (** Node 0's first [blocks] TCP commits. *)
+  agree : bool;  (** The two sequences are identical. *)
+}
+
+(** [cross_validate ~protocol ~blocks ()] replays the fault-free
+    round-robin schedule on both substrates ([n] defaults to 4) and
+    compares node 0's first [blocks] commits as [(height, view, hash)]
+    triples.  Raises [Failure] if either substrate fails to commit
+    [blocks] blocks at all. *)
+val cross_validate :
+  ?n:int -> ?payload_bytes:int -> protocol:Protocol_kind.t -> blocks:int ->
+  unit -> crossval

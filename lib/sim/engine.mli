@@ -64,9 +64,14 @@ val crash : 'msg t -> int -> unit
     created from now on belong to the new incarnation. *)
 val recover : 'msg t -> int -> unit
 
+(** Whether node [i] is currently crashed (between {!crash} and
+    {!recover}). *)
 val is_down : 'msg t -> int -> bool
 
+(** Current simulated time in ms. *)
 val now : 'msg t -> float
+
+(** Number of nodes the engine was created with. *)
 val n : 'msg t -> int
 
 (** Per-node RNG stream, deterministic per engine seed. *)

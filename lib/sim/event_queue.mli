@@ -5,6 +5,7 @@
 
 type 'a t
 
+(** An empty queue. *)
 val create : unit -> 'a t
 
 (** [push t ~time ev] schedules [ev].  Raises [Invalid_argument] on a
@@ -24,6 +25,11 @@ val min_time : 'a t -> float
     timestamp is needed. *)
 val take : 'a t -> 'a
 
+(** Time of the earliest event without popping, or [None] when empty. *)
 val peek_time : 'a t -> float option
+
+(** Whether the queue holds no events. *)
 val is_empty : 'a t -> bool
+
+(** Number of events currently queued. *)
 val size : 'a t -> int

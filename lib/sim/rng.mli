@@ -5,6 +5,8 @@
 
 type t
 
+(** [create seed] builds a generator whose entire stream is determined by
+    [seed]. *)
 val create : int -> t
 
 (** An independent stream derived from [t]'s current state.  Used to give

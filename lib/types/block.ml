@@ -42,6 +42,13 @@ let create ~parent ~view ~proposer ~payload =
     payload;
   }
 
+let of_wire ~parent ~view ~height ~proposer ~payload =
+  if view < 0 then invalid_arg "Block.of_wire: negative view";
+  if height < 0 then invalid_arg "Block.of_wire: negative height";
+  if proposer < -1 then invalid_arg "Block.of_wire: bad proposer";
+  { hash = hash_fields ~parent ~view ~height ~proposer ~payload;
+    parent; view; height; proposer; payload }
+
 let extends_hash t ~parent_hash = Hash.equal t.parent parent_hash
 
 let equivocates a b =

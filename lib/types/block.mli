@@ -26,6 +26,17 @@ val genesis : t
     Raises [Invalid_argument] if [view <= parent.view]. *)
 val create : parent:t -> view:int -> proposer:int -> payload:Payload.t -> t
 
+(** [of_wire ~parent ~view ~height ~proposer ~payload] reconstructs a block
+    received off the wire.  The block's own hash is never transmitted: it is
+    a pure function of the header fields, so the receiver recomputes it —
+    a peer cannot make two different headers carry the same hash, nor claim
+    a hash its fields do not produce.  Unlike {!create}, only the parent's
+    hash is known here, so the [view > parent.view] relation cannot be
+    checked locally; quorum formation enforces it.  Raises
+    [Invalid_argument] on negative [view]/[height] or [proposer < -1]. *)
+val of_wire :
+  parent:Hash.t -> view:int -> height:int -> proposer:int -> payload:Payload.t -> t
+
 (** [extends_hash b ~parent_hash] is true when [b] directly extends the block
     with hash [parent_hash]. *)
 val extends_hash : t -> parent_hash:Hash.t -> bool

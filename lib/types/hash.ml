@@ -30,3 +30,4 @@ let to_hex t = Printf.sprintf "%016Lx" t
 let pp ppf t = Format.fprintf ppf "#%s" (String.sub (to_hex t) 0 8)
 let to_int = Int64.to_int
 let to_int64 t = t
+let of_int64 v = v

@@ -29,3 +29,7 @@ val to_int : t -> int
 (** The digest's 64-bit value, for folding one digest into another via
     {!of_fields} (how composite state digests are built). *)
 val to_int64 : t -> int64
+
+(** Inverse of {!to_int64}; reconstructs a digest received off the wire
+    (block-request hashes travel as their raw 64-bit value). *)
+val of_int64 : int64 -> t

@@ -27,6 +27,21 @@ module type S = sig
       block-synchronizer requests. *)
   val view_of : msg -> int option
 
+  (** {2 Wire codec}
+
+      The live-network transport ({!Bft_net.Tcp}) moves real bytes instead
+      of size-annotated in-memory values; every protocol supplies a frame
+      codec for its message type (format: [docs/WIRE.md]). *)
+
+  (** Serialize to a wire-frame body (version byte, message tag, fields);
+      the transport prepends the length prefix. *)
+  val encode_msg : msg -> string
+
+  (** Total inverse of {!encode_msg}: any byte string either decodes or
+      yields a human-readable error — it never raises, so a malformed
+      frame cannot crash a node. *)
+  val decode_msg : string -> (msg, string) result
+
   type node
 
   (** Durable per-node write-ahead log, abstract at this level (each

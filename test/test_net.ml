@@ -1,0 +1,453 @@
+(* Wire-format and live-network substrate tests.
+
+   Codec layer: qcheck round-trips (decode of encode is the identity) over
+   every constructor of both message families, strict-prefix truncation
+   rejection, garbage-never-raises fuzzing, and byte-pinned vectors that
+   docs/WIRE.md quotes verbatim.
+
+   Transport layer: localhost TCP clusters for all five protocols (thread
+   and process modes), survival under malformed-frame injection, trace
+   merging, and the substrate cross-validation: the simulator and the
+   socket cluster must commit identical chains on the happy path. *)
+
+open Bft_types
+module Wire = Bft_net.Wire
+module Tcp = Bft_net.Tcp
+module Codec = Moonshot.Codec
+module Jcodec = Jolteon.Jolteon_codec
+module Message = Moonshot.Message
+module Jmsg = Jolteon.Jolteon_msg
+module Cert = Moonshot.Cert
+module Tc = Moonshot.Tc
+module Vote_kind = Moonshot.Vote_kind
+module Net_harness = Bft_runtime.Net_harness
+module Protocol_kind = Bft_runtime.Protocol_kind
+
+let ( let* ) gen f = QCheck.Gen.( >>= ) gen f
+
+(* --- generators ----------------------------------------------------------- *)
+
+let payload_gen =
+  let* id = QCheck.Gen.int_range 0 10_000 in
+  let* size_bytes = QCheck.Gen.int_range 0 200 in
+  QCheck.Gen.return (Payload.make ~id ~size_bytes)
+
+(* A structurally valid block: a short chain grown from genesis, so
+   heights, views and parent hashes all satisfy the smart constructors. *)
+let block_gen =
+  let* depth = QCheck.Gen.int_range 1 4 in
+  let* proposer = QCheck.Gen.int_range 0 9 in
+  let* view_step = QCheck.Gen.int_range 1 3 in
+  let* payload = payload_gen in
+  let rec grow parent d =
+    if d = 0 then parent
+    else
+      grow
+        (Block.create ~parent
+           ~view:(parent.Block.view + view_step)
+           ~proposer ~payload)
+        (d - 1)
+  in
+  QCheck.Gen.return (grow Block.genesis depth)
+
+let vote_kind_gen =
+  QCheck.Gen.oneofl [ Vote_kind.Opt; Vote_kind.Normal; Vote_kind.Fallback ]
+
+let cert_gen =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.return Cert.genesis;
+      (let* kind = vote_kind_gen in
+       let* block = block_gen in
+       let* signers = QCheck.Gen.int_range 1 10 in
+       QCheck.Gen.return
+         (Cert.make ~kind ~view:block.Block.view ~block ~signers));
+    ]
+
+let tc_gen =
+  let* view = QCheck.Gen.int_range 1 50 in
+  let* high_cert = QCheck.Gen.option cert_gen in
+  let* signers = QCheck.Gen.int_range 1 10 in
+  QCheck.Gen.return (Tc.make ~view ~high_cert ~signers)
+
+let msg_gen : Message.t QCheck.Gen.t =
+  QCheck.Gen.oneof
+    [
+      (let* block = block_gen in
+       QCheck.Gen.return (Message.Opt_propose { block }));
+      (let* block = block_gen in
+       let* cert = cert_gen in
+       QCheck.Gen.return (Message.Propose { block; cert }));
+      (let* block = block_gen in
+       let* cert = cert_gen in
+       let* tc = tc_gen in
+       QCheck.Gen.return (Message.Fb_propose { block; cert; tc }));
+      (let* kind = vote_kind_gen in
+       let* block = block_gen in
+       QCheck.Gen.return (Message.Vote { kind; block }));
+      (let* view = QCheck.Gen.int_range 1 1000 in
+       let* lock = QCheck.Gen.option cert_gen in
+       QCheck.Gen.return (Message.Timeout { view; lock }));
+      (let* c = cert_gen in
+       QCheck.Gen.return (Message.Cert_gossip c));
+      (let* tc = tc_gen in
+       QCheck.Gen.return (Message.Tc_gossip tc));
+      (let* view = QCheck.Gen.int_range 1 1000 in
+       let* lock = cert_gen in
+       QCheck.Gen.return (Message.Status { view; lock }));
+      (let* view = QCheck.Gen.int_range 1 1000 in
+       let* block = block_gen in
+       QCheck.Gen.return (Message.Commit_vote { view; block }));
+      (let* block = block_gen in
+       QCheck.Gen.return (Message.Block_request { hash = block.Block.hash }));
+      (let* blocks = QCheck.Gen.list_size (QCheck.Gen.int_range 0 5) block_gen in
+       QCheck.Gen.return (Message.Blocks_response { blocks }));
+    ]
+
+let jmsg_gen : Jmsg.t QCheck.Gen.t =
+  QCheck.Gen.oneof
+    [
+      (let* block = block_gen in
+       let* qc = cert_gen in
+       let* tc = QCheck.Gen.option tc_gen in
+       QCheck.Gen.return (Jmsg.Propose { block; qc; tc }));
+      (let* block = block_gen in
+       QCheck.Gen.return (Jmsg.Vote { block }));
+      (let* round = QCheck.Gen.int_range 1 1000 in
+       let* high_qc = cert_gen in
+       QCheck.Gen.return (Jmsg.Timeout { round; high_qc }));
+      (let* block = block_gen in
+       QCheck.Gen.return (Jmsg.Block_request { hash = block.Block.hash }));
+      (let* blocks = QCheck.Gen.list_size (QCheck.Gen.int_range 0 5) block_gen in
+       QCheck.Gen.return (Jmsg.Blocks_response { blocks }));
+    ]
+
+let arb_msg = QCheck.make ~print:(Format.asprintf "%a" Message.pp) msg_gen
+let arb_jmsg = QCheck.make ~print:(Format.asprintf "%a" Jmsg.pp) jmsg_gen
+
+(* --- round-trip properties ------------------------------------------------- *)
+
+let prop_roundtrip_moonshot =
+  QCheck.Test.make ~name:"moonshot codec round-trip" ~count:500 arb_msg
+    (fun m -> Codec.decode (Codec.encode m) = Ok m)
+
+let prop_roundtrip_jolteon =
+  QCheck.Test.make ~name:"jolteon codec round-trip" ~count:500 arb_jmsg
+    (fun m -> Jcodec.decode (Jcodec.encode m) = Ok m)
+
+(* Every strict prefix of a valid body must be rejected: the decoder's
+   reads are deterministic, so a cut can only surface as an error, never
+   as a different successful parse. *)
+let prop_truncation_moonshot =
+  QCheck.Test.make ~name:"moonshot truncated frames rejected" ~count:200
+    arb_msg (fun m ->
+      let body = Codec.encode m in
+      List.for_all
+        (fun k -> Result.is_error (Codec.decode (String.sub body 0 k)))
+        (List.init (String.length body) (fun k -> k)))
+
+let prop_truncation_jolteon =
+  QCheck.Test.make ~name:"jolteon truncated frames rejected" ~count:200
+    arb_jmsg (fun m ->
+      let body = Jcodec.encode m in
+      List.for_all
+        (fun k -> Result.is_error (Jcodec.decode (String.sub body 0 k)))
+        (List.init (String.length body) (fun k -> k)))
+
+(* Garbage in, Error out — never an exception. *)
+let garbage_gen =
+  QCheck.Gen.oneof
+    [
+      QCheck.Gen.string_size (QCheck.Gen.int_range 0 64);
+      (* Valid version byte, then noise: exercises the per-tag readers. *)
+      (let* tag = QCheck.Gen.int_range 0 0x30 in
+       let* rest = QCheck.Gen.string_size (QCheck.Gen.int_range 0 64) in
+       QCheck.Gen.return (Printf.sprintf "\x01%c%s" (Char.chr tag) rest));
+    ]
+
+let prop_garbage_never_raises =
+  QCheck.Test.make ~name:"garbage frames never raise" ~count:2000
+    (QCheck.make garbage_gen) (fun s ->
+      (match Codec.decode s with Ok _ -> true | Error _ -> true)
+      && match Jcodec.decode s with Ok _ -> true | Error _ -> true)
+
+(* --- varint primitives ----------------------------------------------------- *)
+
+let prop_uvar_roundtrip =
+  QCheck.Test.make ~name:"uvar round-trip" ~count:1000
+    (* [land max_int] rather than [abs]: abs min_int is still negative. *)
+    QCheck.(map (fun i -> i land max_int) int)
+    (fun v ->
+      let w = Wire.W.create () in
+      Wire.W.uvar w v;
+      let r = Wire.R.of_string (Wire.W.contents w) in
+      let v' = Wire.R.uvar r in
+      Wire.R.expect_end r;
+      v' = v)
+
+let prop_svar_roundtrip =
+  (* [asr 2] keeps magnitudes under the writer's 2^61 zigzag bound while
+     still covering the full sign range. *)
+  QCheck.Test.make ~name:"svar round-trip" ~count:1000
+    QCheck.(map (fun i -> i asr 2) int)
+    (fun v ->
+      let w = Wire.W.create () in
+      Wire.W.svar w v;
+      let r = Wire.R.of_string (Wire.W.contents w) in
+      let v' = Wire.R.svar r in
+      Wire.R.expect_end r;
+      v' = v)
+
+(* --- pinned vectors (quoted in docs/WIRE.md) ------------------------------- *)
+
+let hex s =
+  String.concat "" (List.map (Printf.sprintf "%02x") (List.init
+    (String.length s) (fun i -> Char.code s.[i])))
+
+let pinned_vote_vector () =
+  let body = Codec.encode (Message.Vote { kind = Vote_kind.Normal; block = Block.genesis }) in
+  Alcotest.(check string)
+    "Vote{Normal, genesis} body" "01040100000000000000000000010000"
+    (hex body);
+  Alcotest.(check string)
+    "framed" ("00000010" ^ hex body)
+    (hex (Wire.frame body))
+
+let pinned_timeout_vector () =
+  let body = Codec.encode (Message.Timeout { view = 3; lock = None }) in
+  Alcotest.(check string) "Timeout{3, None} body" "01050300" (hex body)
+
+let pinned_jolteon_vote_vector () =
+  let body = Jcodec.encode (Jmsg.Vote { block = Block.genesis }) in
+  Alcotest.(check string)
+    "Jolteon Vote{genesis} body" "012200000000000000000000010000"
+    (hex body)
+
+let bad_version_rejected () =
+  let body = Codec.encode (Message.Timeout { view = 3; lock = None }) in
+  let bad = "\x02" ^ String.sub body 1 (String.length body - 1) in
+  match Codec.decode bad with
+  | Error (Wire.Bad_version 2) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Wire.error_to_string e)
+  | Ok _ -> Alcotest.fail "bad version accepted"
+
+let unknown_tag_rejected () =
+  match Codec.decode "\x01\x7f" with
+  | Error (Wire.Bad_tag 0x7f) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Wire.error_to_string e)
+  | Ok _ -> Alcotest.fail "unknown tag accepted"
+
+let trailing_rejected () =
+  let body = Codec.encode (Message.Timeout { view = 3; lock = None }) in
+  match Codec.decode (body ^ "\x00") with
+  | Error (Wire.Trailing 1) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Wire.error_to_string e)
+  | Ok _ -> Alcotest.fail "trailing byte accepted"
+
+let negative_height_rejected () =
+  (* A hand-built Vote body whose height varint zigzag-decodes fine but
+     whose block constructor must refuse it: proposer -2 (svar 03). *)
+  let w = Wire.W.create () in
+  Wire.W.u8 w 0x01;
+  Wire.W.u8 w 0x04;
+  Wire.W.u8 w 1;
+  Wire.W.u64 w 0L;
+  Wire.W.uvar w 0;
+  Wire.W.uvar w 0;
+  Wire.W.svar w (-2);
+  Wire.W.uvar w 0;
+  Wire.W.uvar w 0;
+  match Codec.decode (Wire.W.contents w) with
+  | Error (Wire.Invalid _) -> ()
+  | Error e -> Alcotest.failf "wrong error: %s" (Wire.error_to_string e)
+  | Ok _ -> Alcotest.fail "bad proposer accepted"
+
+(* --- live clusters --------------------------------------------------------- *)
+
+let cluster_case kind =
+  Alcotest.test_case (Protocol_kind.name kind) `Quick (fun () ->
+      let cfg = Net_harness.config kind ~n:4 ~blocks:3 in
+      let r = Net_harness.run kind cfg in
+      match Net_harness.check r ~target:3 with
+      | Ok () -> ()
+      | Error reason -> Alcotest.fail reason)
+
+(* The acceptance bar: 50 blocks over real sockets. *)
+let fifty_blocks () =
+  let kind = Protocol_kind.Commit_moonshot in
+  let cfg = Net_harness.config kind ~n:4 ~blocks:50 in
+  let r = Net_harness.run kind cfg in
+  match Net_harness.check r ~target:50 with
+  | Ok () -> ()
+  | Error reason -> Alcotest.fail reason
+
+let process_mode () =
+  let kind = Protocol_kind.Commit_moonshot in
+  let cfg =
+    {
+      (Net_harness.config kind ~n:4 ~blocks:3) with
+      Tcp.mode = Tcp.Processes;
+    }
+  in
+  let r = Net_harness.run kind cfg in
+  match Net_harness.check r ~target:3 with
+  | Ok () -> ()
+  | Error reason -> Alcotest.fail reason
+
+let traced_cluster () =
+  let kind = Protocol_kind.Pipelined_moonshot in
+  let cfg =
+    { (Net_harness.config kind ~n:4 ~blocks:3) with Tcp.trace = true }
+  in
+  let r = Net_harness.run kind cfg in
+  let quorum = Net_harness.quorum ~n:4 in
+  let lines = Tcp.merged_trace r ~quorum in
+  Alcotest.(check bool) "trace non-empty" true (lines <> []);
+  List.iter
+    (fun l ->
+      Alcotest.(check bool)
+        (Printf.sprintf "JSONL shape: %s" l)
+        true
+        (String.length l > 6 && String.sub l 0 5 = "{\"t\":"))
+    lines;
+  let times =
+    List.map
+      (fun l -> Scanf.sscanf l "{\"t\":%f" (fun t -> t))
+      lines
+  in
+  Alcotest.(check bool) "times nondecreasing" true
+    (List.for_all2 (fun a b -> a <= b)
+       (List.filteri (fun i _ -> i < List.length times - 1) times)
+       (List.tl times));
+  Alcotest.(check bool) "has quorum_commit" true
+    (List.exists
+       (fun l ->
+         let re = {|"ev":"quorum_commit"|} in
+         let rec find i =
+           i + String.length re <= String.length l
+           && (String.sub l i (String.length re) = re || find (i + 1))
+         in
+         find 0)
+       lines);
+  Alcotest.(check bool) "has latency samples" true
+    (Tcp.quorum_latencies r ~quorum <> [])
+
+(* A rogue client connects to a validator and feeds it garbage while the
+   cluster runs; the cluster must still commit, and the frames sent after
+   a valid hello must be counted as decode errors. *)
+let malformed_injection () =
+  let kind = Protocol_kind.Commit_moonshot in
+  let base_port = 28411 in
+  let cfg =
+    {
+      (Net_harness.config kind ~n:4 ~blocks:5) with
+      Tcp.base_port = Some base_port;
+    }
+  in
+  let inject () =
+    let rec connect tries =
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      try
+        Unix.connect fd
+          (Unix.ADDR_INET (Unix.inet_addr_loopback, base_port));
+        fd
+      with Unix.Unix_error _ when tries > 0 ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Thread.delay 0.005;
+        connect (tries - 1)
+    in
+    (* Client 1: a valid hello from "node 2", then well-framed garbage
+       bodies — each must be skipped and counted, not crash the node. *)
+    let fd = connect 200 in
+    let w = Wire.W.create () in
+    Wire.W.u8 w 0x01;
+    Wire.W.u8 w 0x00;
+    Wire.W.uvar w 2;
+    Wire.W.uvar w 4;
+    Wire.W.bytes w (Protocol_kind.name kind);
+    (try
+       Wire.write_all fd (Wire.frame (Wire.W.contents w));
+       Wire.write_all fd (Wire.frame "\x01\x7f\xde\xad\xbe\xef");
+       Wire.write_all fd (Wire.frame "\x42\x42\x42")
+     with Unix.Unix_error _ -> ());
+    (* Client 2: raw garbage instead of a hello — dropped at the door. *)
+    let fd2 = connect 200 in
+    (try Wire.write_all fd2 "\xff\xff\xff\xff garbage" with Unix.Unix_error _ -> ());
+    Thread.delay 0.2;
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    try Unix.close fd2 with Unix.Unix_error _ -> ()
+  in
+  let injector = Thread.create inject () in
+  let r = Net_harness.run kind cfg in
+  Thread.join injector;
+  (match Net_harness.check r ~target:5 with
+  | Ok () -> ()
+  | Error reason -> Alcotest.fail reason);
+  let errors =
+    Array.fold_left (fun acc nr -> acc + nr.Tcp.decode_errors) 0 r.Tcp.nodes
+  in
+  Alcotest.(check bool) "garbage frames counted" true (errors >= 1)
+
+(* --- substrate cross-validation -------------------------------------------- *)
+
+let crossval_case kind =
+  Alcotest.test_case (Protocol_kind.name kind) `Quick (fun () ->
+      let cv = Net_harness.cross_validate ~n:4 ~protocol:kind ~blocks:5 () in
+      if not cv.Net_harness.agree then
+        Alcotest.failf "substrates disagree: sim %s, net %s"
+          (String.concat ","
+             (List.map
+                (fun (c : Net_harness.commit_id) ->
+                  Printf.sprintf "%d@%d" c.Net_harness.height c.view)
+                cv.Net_harness.sim_commits))
+          (String.concat ","
+             (List.map
+                (fun (c : Net_harness.commit_id) ->
+                  Printf.sprintf "%d@%d" c.Net_harness.height c.view)
+                cv.Net_harness.net_commits)))
+
+let crossval_with_payload () =
+  let cv =
+    Net_harness.cross_validate ~n:4 ~payload_bytes:2048
+      ~protocol:Protocol_kind.Commit_moonshot ~blocks:5 ()
+  in
+  Alcotest.(check bool) "payload run agrees" true cv.Net_harness.agree
+
+let () =
+  let q = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "net"
+    [
+      ( "codec",
+        q
+          [
+            prop_roundtrip_moonshot;
+            prop_roundtrip_jolteon;
+            prop_truncation_moonshot;
+            prop_truncation_jolteon;
+            prop_garbage_never_raises;
+            prop_uvar_roundtrip;
+            prop_svar_roundtrip;
+          ] );
+      ( "vectors",
+        [
+          Alcotest.test_case "vote (pinned)" `Quick pinned_vote_vector;
+          Alcotest.test_case "timeout (pinned)" `Quick pinned_timeout_vector;
+          Alcotest.test_case "jolteon vote (pinned)" `Quick
+            pinned_jolteon_vote_vector;
+          Alcotest.test_case "bad version" `Quick bad_version_rejected;
+          Alcotest.test_case "unknown tag" `Quick unknown_tag_rejected;
+          Alcotest.test_case "trailing bytes" `Quick trailing_rejected;
+          Alcotest.test_case "bad proposer" `Quick negative_height_rejected;
+        ] );
+      ( "cluster",
+        List.map cluster_case Protocol_kind.all
+        @ [
+            Alcotest.test_case "50 blocks" `Quick fifty_blocks;
+            Alcotest.test_case "process mode" `Quick process_mode;
+            Alcotest.test_case "traced run" `Quick traced_cluster;
+            Alcotest.test_case "malformed injection" `Quick malformed_injection;
+          ] );
+      ( "crossval",
+        List.map crossval_case Protocol_kind.all
+        @ [ Alcotest.test_case "with payload" `Quick crossval_with_payload ] );
+    ]
