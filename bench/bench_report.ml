@@ -1,46 +1,92 @@
 (* Machine-readable perf trajectory of the bench runs themselves.
 
    Every experiment dispatched by [main.ml] is timed (wall clock) and
-   attributed the simulator events its runs processed (via the harness's
-   atomic lifetime counter, so worker-domain runs count).  [write] dumps
-   the collected entries as BENCH_simcore.json so successive PRs can diff
-   events/second and per-experiment wall-clock instead of eyeballing
-   bench output. *)
+   attributed the simulator events its runs processed and the heap bytes
+   those event loops allocated (via the harness's atomic lifetime counters,
+   so worker-domain runs count).  [write] dumps the collected entries as
+   BENCH_simcore.json so successive PRs can diff events/second and
+   bytes-allocated-per-event instead of eyeballing bench output.
 
-type entry = { name : string; wall_s : float; events : int }
+   The [bench_smoke] block is the regression tripwire's reference point:
+   the committed BENCH_simcore.json at the repo root carries the
+   events/second the @bench-smoke alias compares fresh measurements
+   against (see [Bench_smoke]). *)
+
+type entry = {
+  name : string;
+  wall_s : float;
+  events : int;
+  alloc_bytes : int;
+}
 
 let entries : entry list ref = ref []
 
 let with_experiment name f =
   let events0 = Bft_runtime.Harness.events_processed_total () in
+  let alloc0 = Bft_runtime.Harness.bytes_allocated_total () in
   let t0 = Unix.gettimeofday () in
   Fun.protect ~finally:(fun () ->
       let wall_s = Unix.gettimeofday () -. t0 in
       let events = Bft_runtime.Harness.events_processed_total () - events0 in
-      entries := { name; wall_s; events } :: !entries)
+      let alloc_bytes =
+        Bft_runtime.Harness.bytes_allocated_total () - alloc0
+      in
+      entries := { name; wall_s; events; alloc_bytes } :: !entries)
     f
+
+type smoke = {
+  smoke_wall_s : float;
+  smoke_events : int;
+  smoke_alloc_bytes : int;
+}
+
+let smoke_result : smoke option ref = ref None
+let set_smoke s = smoke_result := Some s
 
 let events_per_sec ~events ~wall_s =
   if wall_s > 0. then float_of_int events /. wall_s else 0.
 
-let buffer_entry b { name; wall_s; events } =
+let bytes_per_event ~events ~alloc_bytes =
+  if events > 0 then float_of_int alloc_bytes /. float_of_int events else 0.
+
+let buffer_entry b { name; wall_s; events; alloc_bytes } =
   Printf.bprintf b
     "    {\"name\": %S, \"wall_clock_s\": %.3f, \"events\": %d, \
-     \"events_per_sec\": %.0f}"
-    name wall_s events (events_per_sec ~events ~wall_s)
+     \"events_per_sec\": %.0f, \"alloc_bytes\": %d, \
+     \"alloc_bytes_per_event\": %.1f}"
+    name wall_s events
+    (events_per_sec ~events ~wall_s)
+    alloc_bytes
+    (bytes_per_event ~events ~alloc_bytes)
 
 let write ~jobs ~path =
   let recorded = List.rev !entries in
   let wall_s = List.fold_left (fun a e -> a +. e.wall_s) 0. recorded in
   let events = List.fold_left (fun a e -> a + e.events) 0 recorded in
+  let alloc_bytes =
+    List.fold_left (fun a e -> a + e.alloc_bytes) 0 recorded
+  in
   let b = Buffer.create 1024 in
   Buffer.add_string b "{\n";
-  Printf.bprintf b "  \"schema\": \"bench_simcore/v1\",\n";
+  Printf.bprintf b "  \"schema\": \"bench_simcore/v2\",\n";
   Printf.bprintf b "  \"jobs\": %d,\n" jobs;
   Printf.bprintf b
     "  \"total\": {\"wall_clock_s\": %.3f, \"events\": %d, \
-     \"events_per_sec\": %.0f},\n"
-    wall_s events (events_per_sec ~events ~wall_s);
+     \"events_per_sec\": %.0f, \"alloc_bytes\": %d, \
+     \"alloc_bytes_per_event\": %.1f},\n"
+    wall_s events
+    (events_per_sec ~events ~wall_s)
+    alloc_bytes
+    (bytes_per_event ~events ~alloc_bytes);
+  (match !smoke_result with
+  | None -> ()
+  | Some { smoke_wall_s; smoke_events; smoke_alloc_bytes } ->
+      Printf.bprintf b
+        "  \"bench_smoke\": {\"wall_clock_s\": %.3f, \"events\": %d, \
+         \"events_per_sec\": %.0f, \"alloc_bytes_per_event\": %.1f},\n"
+        smoke_wall_s smoke_events
+        (events_per_sec ~events:smoke_events ~wall_s:smoke_wall_s)
+        (bytes_per_event ~events:smoke_events ~alloc_bytes:smoke_alloc_bytes));
   Buffer.add_string b "  \"experiments\": [\n";
   List.iteri
     (fun i e ->
@@ -51,7 +97,8 @@ let write ~jobs ~path =
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (Buffer.contents b));
   Format.printf "@.wrote %s: %d experiments, %.1f s wall, %d events \
-                 (%.0f events/s, jobs=%d)@."
+                 (%.0f events/s, %.1f alloc B/event, jobs=%d)@."
     path (List.length recorded) wall_s events
     (events_per_sec ~events ~wall_s)
+    (bytes_per_event ~events ~alloc_bytes)
     jobs

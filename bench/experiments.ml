@@ -720,3 +720,58 @@ let chaos scale =
   chaos_json rows ~path:"BENCH_faults.json";
   Format.printf
     "@.(every row survived its schedule: zero safety violations, every@.      liveness checkpoint met; catch-up = recovery to quorum height;@.      details in BENCH_faults.json)@."
+
+(* --- beyond-paper scale (n = 1000) ------------------------------------------ *)
+
+(* Dedicated [n1000] target, deliberately not part of [all]: the paper's
+   evaluation stops at n = 200, and this sweep shows the rewritten core
+   pushing the same WAN model five times further.  Empty payloads isolate
+   protocol traffic — the O(n^2)-per-view vote fan-out the engine's batch
+   path and message pools exist for.  The run counts printed (events,
+   messages) are simulation outputs, so the table stays byte-identical
+   whatever [--jobs] is. *)
+let scale_beyond scale =
+  Format.printf
+    "@.== Beyond paper scale: protocol traffic up to n=1000 (p=0) ==@.@.";
+  let ns = [ 200; 500; 1000 ] in
+  let ps = [ Protocol_kind.Pipelined_moonshot; Protocol_kind.Jolteon ] in
+  let t =
+    Table.create
+      [ "n"; "protocol"; "blocks"; "blk/s"; "latency ms"; "events"; "msgs" ]
+  in
+  let rows =
+    Parallel.map ~jobs:scale.jobs
+      (fun (n, protocol) ->
+        let cfg =
+          {
+            (Config.default protocol ~n) with
+            Config.payload_bytes = 0;
+            duration_ms = 2_000.;
+          }
+        in
+        let results = Harness.run_seeds cfg ~seeds:scale.seeds in
+        let events =
+          List.fold_left (fun a r -> a + r.Harness.events_processed) 0 results
+        in
+        let msgs =
+          List.fold_left (fun a r -> a + r.Harness.messages_sent) 0 results
+        in
+        (n, protocol, Harness.summarize results, events, msgs))
+      (List.concat_map (fun n -> List.map (fun p -> (n, p)) ps) ns)
+  in
+  List.iter
+    (fun (n, protocol, s, events, msgs) ->
+      Table.add_row t
+        [
+          string_of_int n;
+          Protocol_kind.short_name protocol;
+          Printf.sprintf "%.0f" s.Harness.blocks_committed;
+          Printf.sprintf "%.2f" s.Harness.blocks_per_sec;
+          Printf.sprintf "%.0f" s.Harness.avg_latency_ms;
+          string_of_int events;
+          string_of_int msgs;
+        ])
+    rows;
+  Table.print Format.std_formatter t;
+  Format.printf
+    "@.(the paper's evaluation stops at n=200; same WAN model and protocol@.      stacks, 2 s simulated per run)@."

@@ -139,7 +139,7 @@ let run_cmd =
     Format.printf "transfer rate   : %.3f MB/s@."
       (m.Metrics.transfer_rate_bps /. 1e6);
     Format.printf "messages        : %d (%.1f MB)@." r.Harness.messages_sent
-      (r.Harness.bytes_sent /. 1e6);
+      (float_of_int r.Harness.bytes_sent /. 1e6);
     Format.printf "safety          : OK@."
   in
   let delta =
@@ -423,6 +423,7 @@ let table2_cmd =
       $ const ())
 
 let () =
+  Bft_parallel.Parallel.tune_gc ();
   let man =
     [
       `S Manpage.s_description;

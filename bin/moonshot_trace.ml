@@ -152,6 +152,7 @@ let trace_run protocol n seed duration delta payload hop wan timeline jsonl =
   end
 
 let () =
+  Bft_parallel.Parallel.tune_gc ();
   let term =
     Term.(
       const trace_run $ protocol $ nodes $ seed $ duration $ delta $ payload

@@ -29,4 +29,4 @@ let () =
   Format.printf "transfer rate   : %.2f MB/s@."
     (m.Metrics.transfer_rate_bps /. 1e6);
   Format.printf "messages sent   : %d (%.1f MB)@." result.Harness.messages_sent
-    (result.Harness.bytes_sent /. 1e6)
+    (float_of_int result.Harness.bytes_sent /. 1e6)

@@ -18,6 +18,18 @@ let proposal_base (b : Block.t) =
   + Wire_size.block ~payload_bytes:b.Block.payload.Payload.size_bytes
   + Wire_size.signature
 
+(* Constant wire sizes, computed once at module init: votes, timeouts,
+   commit votes and gossip headers dominate the O(n^2)-per-view traffic, and
+   their sizes never depend on the payload. *)
+let timeout_base_size =
+  Wire_size.tag + Wire_size.view + Wire_size.signature + Wire_size.node_id
+
+let commit_vote_size =
+  Wire_size.tag + Wire_size.view + Wire_size.block_header + Wire_size.signature
+  + Wire_size.node_id
+
+let block_request_size = Wire_size.tag + Wire_size.hash + Wire_size.node_id
+
 let size = function
   | Opt_propose { block } -> proposal_base block
   | Propose { block; cert } -> proposal_base block + Cert.wire_size cert
@@ -26,17 +38,12 @@ let size = function
   | Vote _ -> Wire_size.vote
   | Timeout { lock; _ } ->
       let lock_size = match lock with None -> 0 | Some c -> Cert.wire_size c in
-      Wire_size.tag + Wire_size.view + Wire_size.signature + Wire_size.node_id
-      + lock_size
+      timeout_base_size + lock_size
   | Cert_gossip c -> Wire_size.tag + Cert.wire_size c
   | Tc_gossip tc -> Wire_size.tag + Tc.wire_size tc
-  | Status { lock; _ } ->
-      Wire_size.tag + Wire_size.view + Cert.wire_size lock
-      + Wire_size.signature + Wire_size.node_id
-  | Commit_vote _ ->
-      Wire_size.tag + Wire_size.view + Wire_size.block_header
-      + Wire_size.signature + Wire_size.node_id
-  | Block_request _ -> Wire_size.tag + Wire_size.hash + Wire_size.node_id
+  | Status { lock; _ } -> timeout_base_size + Cert.wire_size lock
+  | Commit_vote _ -> commit_vote_size
+  | Block_request _ -> block_request_size
   | Blocks_response { blocks } ->
       Wire_size.tag
       + List.fold_left
@@ -44,27 +51,32 @@ let size = function
             acc + Wire_size.block ~payload_bytes:b.Block.payload.Payload.size_bytes)
           0 blocks
 
+(* Constant CPU costs likewise precomputed — one cross-module call at init
+   instead of one (with a boxed-float return) per send/receive. *)
+let vote_cost = Cpu_model.verify_signatures 1
+let timeout_cost = Cpu_model.(verify_signatures 1 +. cache_check_ms)
+let gossip_cost = Cpu_model.cache_check_ms
+
 let cpu_cost =
   let open Cpu_model in
   function
   | Opt_propose { block } ->
-      verify_signatures 1 +. hash_payload block.Block.payload.Payload.size_bytes
+      vote_cost +. hash_payload block.Block.payload.Payload.size_bytes
   | Propose { block; cert = _ } ->
       (* The embedded certificate was almost always assembled locally from
          verified votes already; charge the cache check. *)
-      verify_signatures 1 +. cache_check_ms
-      +. hash_payload block.Block.payload.Payload.size_bytes
+      timeout_cost +. hash_payload block.Block.payload.Payload.size_bytes
   | Fb_propose { block; cert; tc } ->
       (* Fallback proposals are rare and their TC is fresh: verify it. *)
       verify_signatures (1 + cert.Cert.signers + tc.Tc.signers)
       +. hash_payload block.Block.payload.Payload.size_bytes
-  | Vote _ -> verify_signatures 1
-  | Timeout _ -> verify_signatures 1 +. cache_check_ms
-  | Cert_gossip _ -> cache_check_ms
+  | Vote _ -> vote_cost
+  | Timeout _ -> timeout_cost
+  | Cert_gossip _ -> gossip_cost
   | Tc_gossip tc -> verify_signatures tc.Tc.signers
-  | Status _ -> verify_signatures 1 +. cache_check_ms
-  | Commit_vote _ -> verify_signatures 1
-  | Block_request _ -> cache_check_ms
+  | Status _ -> timeout_cost
+  | Commit_vote _ -> vote_cost
+  | Block_request _ -> gossip_cost
   | Blocks_response { blocks } ->
       List.fold_left
         (fun acc (b : Block.t) ->

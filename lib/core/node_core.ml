@@ -62,7 +62,7 @@ let add_vote t ~signer ~kind block =
   | Threshold_reached signers ->
       Some
         (Cert.make ~kind ~view:block.Block.view ~block
-           ~signers:(List.length signers))
+           ~signers:(Bft_crypto.Signer_set.count signers))
   | Added _ | Duplicate | Already_complete -> None
 
 let certs_at t view =
@@ -161,7 +161,10 @@ let state_hash t =
                 (Int64.of_int view :: Int64.of_int tag :: Int64.of_int bkey
                 ::
                 (if complete then [ 1L ]
-                 else 0L :: List.map Int64.of_int signers)))))
+                 else
+                   0L
+                   :: List.map Int64.of_int
+                        (Bft_crypto.Signer_set.to_list signers))))))
       t.votes 0L
   in
   let certs_h =

@@ -492,7 +492,10 @@ let state_hash t =
                 (Int64.of_int view :: Int64.of_int bkey
                 ::
                 (if complete then [ 1L ]
-                 else 0L :: List.map Int64.of_int signers)))))
+                 else
+                   0L
+                   :: List.map Int64.of_int
+                        (Bft_crypto.Signer_set.to_list signers))))))
       t.commit_votes 0L
   in
   let tcs_h =

@@ -1,4 +1,10 @@
-type 'k entry = { signers : Signer_set.t; mutable complete : bool }
+(* [count] caches [Signer_set.count signers]: the per-vote path must not
+   pay a popcount sweep per contribution. *)
+type 'k entry = {
+  signers : Signer_set.t;
+  mutable count : int;
+  mutable complete : bool;
+}
 type 'k t = { table : ('k, 'k entry) Hashtbl.t; n : int; threshold : int }
 
 let create ~n ~threshold =
@@ -8,14 +14,16 @@ let create ~n ~threshold =
 type outcome =
   | Added of int
   | Duplicate
-  | Threshold_reached of int list
+  | Threshold_reached of Signer_set.t
   | Already_complete
 
+(* [find]/[Not_found] instead of [find_opt]: the hit path is one lookup per
+   received vote and [find_opt] allocates a [Some] per hit. *)
 let entry t key =
-  match Hashtbl.find_opt t.table key with
-  | Some e -> e
-  | None ->
-      let e = { signers = Signer_set.create ~n:t.n; complete = false } in
+  match Hashtbl.find t.table key with
+  | e -> e
+  | exception Not_found ->
+      let e = { signers = Signer_set.create ~n:t.n; count = 0; complete = false } in
       Hashtbl.add t.table key e;
       e
 
@@ -24,26 +32,26 @@ let add t key ~signer =
   if not (Signer_set.add e.signers signer) then Duplicate
   else if e.complete then Already_complete
   else begin
-    let c = Signer_set.count e.signers in
+    let c = e.count + 1 in
+    e.count <- c;
     if c >= t.threshold then begin
       e.complete <- true;
-      Threshold_reached (Signer_set.to_list e.signers)
+      Threshold_reached e.signers
     end
     else Added c
   end
 
 let count t key =
-  match Hashtbl.find_opt t.table key with
-  | None -> 0
-  | Some e -> Signer_set.count e.signers
+  match Hashtbl.find t.table key with
+  | e -> e.count
+  | exception Not_found -> 0
 
 let is_complete t key =
-  match Hashtbl.find_opt t.table key with
-  | None -> false
-  | Some e -> e.complete
+  match Hashtbl.find t.table key with
+  | e -> e.complete
+  | exception Not_found -> false
 
 let fold f t init =
   Hashtbl.fold
-    (fun key e acc ->
-      f key ~signers:(Signer_set.to_list e.signers) ~complete:e.complete acc)
+    (fun key e acc -> f key ~signers:e.signers ~complete:e.complete acc)
     t.table init

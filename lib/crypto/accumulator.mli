@@ -15,9 +15,12 @@ val create : n:int -> threshold:int -> 'k t
 type outcome =
   | Added of int  (** New contribution; payload is the updated count. *)
   | Duplicate  (** This signer already contributed to this key. *)
-  | Threshold_reached of int list
+  | Threshold_reached of Signer_set.t
       (** This contribution was the one that completed the quorum; carries
-          the signer list.  Fires at most once per key. *)
+          the accumulator's {e live} signer set for the key — read it (via
+          {!Signer_set.count}/[iter]) before adding further contributions
+          for the same key, and {!Signer_set.copy} it if retaining.  Fires
+          at most once per key. *)
   | Already_complete  (** Contribution past an already reached quorum. *)
 
 (** [add t key ~signer] registers a contribution. *)
@@ -26,12 +29,12 @@ val add : 'k t -> 'k -> signer:int -> outcome
 val count : 'k t -> 'k -> int
 val is_complete : 'k t -> 'k -> bool
 
-(** Fold over every key with at least one contribution.  [signers] is in
-    ascending order; entry iteration order is {e unspecified} (hashtable
-    order), so callers building digests must combine entries with a
-    commutative operation. *)
+(** Fold over every key with at least one contribution.  [signers] is the
+    live set for the key (do not mutate); entry iteration order is
+    {e unspecified} (hashtable order), so callers building digests must
+    combine entries with a commutative operation. *)
 val fold :
-  ('k -> signers:int list -> complete:bool -> 'acc -> 'acc) ->
+  ('k -> signers:Signer_set.t -> complete:bool -> 'acc -> 'acc) ->
   'k t ->
   'acc ->
   'acc

@@ -1,43 +1,96 @@
-type t = { bits : Bytes.t; n : int; mutable count : int }
+(* Packed bitset over an int word array, 32 bits per word: bit [i] of the
+   set lives in word [i lsr 5] at position [i land 31].  Word granularity
+   keeps every operation branch-light flat-array arithmetic — no byte
+   boxing, no per-bit range checks — and [count]/[iter]/[fold] walk whole
+   words, skipping empty ones outright.
+
+   The public [add]/[mem] validate the index once and then defer to the
+   unchecked word ops, so the certificate-accumulation hot path (one [add]
+   per vote, O(n^2) of them per view) pays a single bounds check per
+   contribution. *)
+
+type t = { words : int array; n : int }
+
+let bits_per_word = 32
 
 let create ~n =
   if n < 0 then invalid_arg "Signer_set.create";
-  { bits = Bytes.make ((n + 7) / 8) '\000'; n; count = 0 }
+  { words = Array.make ((n + bits_per_word - 1) / bits_per_word) 0; n }
+
+(* SWAR popcount of a 32-bit word; every intermediate fits a native int. *)
+let popcount32 x =
+  let x = x - ((x lsr 1) land 0x55555555) in
+  let x = (x land 0x33333333) + ((x lsr 2) land 0x33333333) in
+  let x = (x + (x lsr 4)) land 0x0f0f0f0f in
+  (* Truncate the byte-summing multiply to 32 bits: OCaml ints are wider,
+     so without the mask the product's upper bytes leak into the shift. *)
+  ((x * 0x01010101) land 0xffffffff) lsr 24
 
 let check t i =
   if i < 0 || i >= t.n then invalid_arg "Signer_set: signer out of range"
 
-let mem t i =
-  check t i;
-  Char.code (Bytes.get t.bits (i / 8)) land (1 lsl (i mod 8)) <> 0
+let unsafe_mem t i =
+  Array.unsafe_get t.words (i lsr 5) land (1 lsl (i land 31)) <> 0
 
-let add t i =
-  check t i;
-  if mem t i then false
+let unsafe_add t i =
+  let w = i lsr 5 in
+  let bit = 1 lsl (i land 31) in
+  let old = Array.unsafe_get t.words w in
+  if old land bit <> 0 then false
   else begin
-    let byte = Char.code (Bytes.get t.bits (i / 8)) in
-    Bytes.set t.bits (i / 8) (Char.chr (byte lor (1 lsl (i mod 8))));
-    t.count <- t.count + 1;
+    Array.unsafe_set t.words w (old lor bit);
     true
   end
 
-let count t = t.count
+let mem t i =
+  check t i;
+  unsafe_mem t i
 
-(* On the certificate-formation path of every quorum: walk the bitmap a
-   byte at a time (skipping zero bytes outright) instead of calling [mem] —
-   and its range check — once per bit.  High to low so the prepends come
-   out ascending. *)
+let add t i =
+  check t i;
+  unsafe_add t i
+
+let count t =
+  let c = ref 0 in
+  for w = 0 to Array.length t.words - 1 do
+    c := !c + popcount32 (Array.unsafe_get t.words w)
+  done;
+  !c
+
+let capacity t = t.n
+
+(* Ascending-order iteration, one trailing-zero extraction per set bit.
+   [bit] is a power of two, so popcount of [bit - 1] is its index. *)
+let iter f t =
+  for w = 0 to Array.length t.words - 1 do
+    let word = ref (Array.unsafe_get t.words w) in
+    if !word <> 0 then begin
+      let base = w lsl 5 in
+      while !word <> 0 do
+        let bit = !word land (- !word) in
+        f (base + popcount32 (bit - 1));
+        word := !word land (!word - 1)
+      done
+    end
+  done
+
+let fold f t init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) t;
+  !acc
+
+(* High-to-low walk so the prepends come out ascending. *)
 let to_list t =
   let acc = ref [] in
-  for byte_i = Bytes.length t.bits - 1 downto 0 do
-    let byte = Char.code (Bytes.unsafe_get t.bits byte_i) in
-    if byte <> 0 then begin
-      let base = byte_i * 8 in
-      for bit = 7 downto 0 do
-        if byte land (1 lsl bit) <> 0 then acc := (base + bit) :: !acc
+  for w = Array.length t.words - 1 downto 0 do
+    let word = Array.unsafe_get t.words w in
+    if word <> 0 then begin
+      let base = w lsl 5 in
+      for bit = bits_per_word - 1 downto 0 do
+        if word land (1 lsl bit) <> 0 then acc := (base + bit) :: !acc
       done
     end
   done;
   !acc
 
-let copy t = { bits = Bytes.copy t.bits; n = t.n; count = t.count }
+let copy t = { words = Array.copy t.words; n = t.n }

@@ -1,5 +1,11 @@
 (** A deduplicated set of signer identities, as accumulated while collecting
-    votes or timeout messages toward a certificate. *)
+    votes or timeout messages toward a certificate.
+
+    Backed by a packed int word array: [add]/[mem] are single-word bit
+    operations, [count] is a popcount sweep over the words, and
+    [iter]/[fold] visit set bits without materializing a list — the
+    representation every per-quorum hot path (one [add] per received vote)
+    relies on to stay allocation-free. *)
 
 type t
 
@@ -7,10 +13,38 @@ type t
 val create : n:int -> t
 
 (** [add t i] records signer [i]; returns [false] when [i] was already
-    present.  Raises [Invalid_argument] when [i] is out of range. *)
+    present.  The index is validated exactly once.  Raises
+    [Invalid_argument] when [i] is out of range. *)
 val add : t -> int -> bool
 
 val mem : t -> int -> bool
+
+(** Number of distinct signers recorded, by popcount over the words. *)
 val count : t -> int
+
+(** The [n] the set was created with. *)
+val capacity : t -> int
+
+(** {2 Unchecked word operations}
+
+    Same as {!add}/{!mem} minus the range check.  The caller must guarantee
+    [0 <= i < n]; out-of-range indices silently corrupt or read neighbouring
+    bits.  Used on paths that already validated the signer (e.g. a message
+    source assigned by the engine). *)
+
+val unsafe_add : t -> int -> bool
+val unsafe_mem : t -> int -> bool
+
+(** [iter f t] applies [f] to each member in ascending order, without
+    allocating.  This is the certificate-formation path's replacement for
+    {!to_list}. *)
+val iter : (int -> unit) -> t -> unit
+
+(** [fold f t init] folds over members in ascending order. *)
+val fold : (int -> 'acc -> 'acc) -> t -> 'acc -> 'acc
+
+(** Members in ascending order as a fresh list.  Reporting/debug only — hot
+    paths use {!count}/{!iter}/{!fold}. *)
 val to_list : t -> int list
+
 val copy : t -> t

@@ -7,6 +7,13 @@ type t =
   | Block_request of { hash : Hash.t }
   | Blocks_response of { blocks : Block.t list }
 
+(* Constant wire sizes and CPU costs precomputed at module init, mirroring
+   Bft_core.Message: votes and timeouts are the O(n^2)-per-round traffic. *)
+let timeout_base_size =
+  Wire_size.tag + Wire_size.view + Wire_size.signature + Wire_size.node_id
+
+let block_request_size = Wire_size.tag + Wire_size.hash + Wire_size.node_id
+
 let size = function
   | Propose { block; qc; tc } ->
       let tc_size = match tc with None -> 0 | Some t -> Moonshot.Tc.wire_size t in
@@ -14,16 +21,17 @@ let size = function
       + Wire_size.block ~payload_bytes:block.Block.payload.Payload.size_bytes
       + Wire_size.signature + Moonshot.Cert.wire_size qc + tc_size
   | Vote _ -> Wire_size.vote
-  | Timeout { high_qc; _ } ->
-      Wire_size.tag + Wire_size.view + Wire_size.signature + Wire_size.node_id
-      + Moonshot.Cert.wire_size high_qc
-  | Block_request _ -> Wire_size.tag + Wire_size.hash + Wire_size.node_id
+  | Timeout { high_qc; _ } -> timeout_base_size + Moonshot.Cert.wire_size high_qc
+  | Block_request _ -> block_request_size
   | Blocks_response { blocks } ->
       Wire_size.tag
       + List.fold_left
           (fun acc (b : Block.t) ->
             acc + Wire_size.block ~payload_bytes:b.Block.payload.Payload.size_bytes)
           0 blocks
+
+let vote_cost = Bft_types.Cpu_model.verify_signatures 1
+let timeout_cost = Bft_types.Cpu_model.(verify_signatures 1 +. cache_check_ms)
 
 let cpu_cost =
   let open Bft_types.Cpu_model in
@@ -32,8 +40,8 @@ let cpu_cost =
       let tc_sigs = match tc with None -> 0 | Some t -> t.Moonshot.Tc.signers in
       verify_signatures (1 + qc.Moonshot.Cert.signers + tc_sigs)
       +. hash_payload block.Block.payload.Payload.size_bytes
-  | Vote _ -> verify_signatures 1
-  | Timeout _ -> verify_signatures 1 +. cache_check_ms
+  | Vote _ -> vote_cost
+  | Timeout _ -> timeout_cost
   | Block_request _ -> cache_check_ms
   | Blocks_response { blocks } ->
       List.fold_left

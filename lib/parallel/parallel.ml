@@ -1,5 +1,16 @@
 let cpu_count () = Domain.recommended_domain_count ()
 
+(* Simulation-friendly GC settings.  The simulator's steady state allocates
+   small short-lived blocks (messages that escape the engine's pools, trace
+   thunks, metrics conses): a 32 M-word minor heap promotes far less of that
+   churn than the 256 K-word default, and a higher space overhead defers
+   major-heap sliding until a run has actually built up live state.  Each
+   domain has its own minor heap, so worker domains apply this themselves
+   on spawn. *)
+let tune_gc () =
+  Gc.set
+    { (Gc.get ()) with Gc.minor_heap_size = 1 lsl 22; space_overhead = 200 }
+
 (* Each slot is written by exactly one task and read only after every domain
    has been joined, so plain arrays suffice; the join is the happens-before
    edge that publishes the writes. *)
@@ -27,7 +38,11 @@ let map ~jobs f tasks =
           worker ()
         end
       in
-      let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+      let spawned () =
+        tune_gc ();
+        worker ()
+      in
+      let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn spawned) in
       worker ();
       Array.iter Domain.join domains;
       Array.to_list

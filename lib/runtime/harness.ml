@@ -12,7 +12,7 @@ type fault_summary = {
 type run_result = {
   metrics : Metrics.result;
   messages_sent : int;
-  bytes_sent : float;
+  bytes_sent : int;
   events_processed : int;
   config : Config.t;
   fault_summary : fault_summary option;
@@ -21,6 +21,13 @@ type run_result = {
 (* Lifetime event counter, atomic so runs on worker domains count too. *)
 let total_events = Atomic.make 0
 let events_processed_total () = Atomic.get total_events
+
+(* Lifetime allocation counter for the alloc-per-event probe: each run adds
+   the bytes its domain allocated between node start-up and the end of the
+   event loop (measured with [Gc.allocated_bytes], which is per-domain), so
+   bench reports can divide by the event counter above. *)
+let total_alloc = Atomic.make 0
+let bytes_allocated_total () = Atomic.get total_alloc
 
 let latency_model (cfg : Config.t) =
   match cfg.Config.latency with
@@ -356,12 +363,15 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ()) ?trace
        heal_windows
    end);
   Log.debug (fun m -> m "starting run: %a" Config.pp cfg);
+  let alloc0 = Gc.allocated_bytes () in
   List.iter P.start nodes;
   Bft_sim.Engine.run engine ~until:cfg.Config.duration_ms;
+  let alloc = Gc.allocated_bytes () -. alloc0 in
   let stats = Bft_sim.Engine.stats engine in
   ignore
     (Atomic.fetch_and_add total_events stats.Bft_sim.Engine.events_processed
       : int);
+  ignore (Atomic.fetch_and_add total_alloc (int_of_float alloc) : int);
   let result =
     {
       metrics = Metrics.finish metrics ~duration_ms:cfg.Config.duration_ms;

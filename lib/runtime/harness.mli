@@ -29,7 +29,7 @@ type fault_summary = {
 type run_result = {
   metrics : Metrics.result;
   messages_sent : int;
-  bytes_sent : float;
+  bytes_sent : int;
   events_processed : int;
   config : Config.t;
   fault_summary : fault_summary option;
@@ -71,6 +71,13 @@ val run_seeds : Config.t -> seeds:int list -> run_result list
     The bench harness reads it before and after an experiment to report
     events/second alongside wall-clock. *)
 val events_processed_total : unit -> int
+
+(** Heap bytes allocated inside the event loops of every run this process
+    has completed (per-domain [Gc.allocated_bytes] deltas, summed across
+    domains like {!events_processed_total}).  Dividing its delta by the
+    event counter's delta gives the bytes-allocated-per-event probe the
+    bench reports record. *)
+val bytes_allocated_total : unit -> int
 
 (** Averages across repeated runs. *)
 type summary = {

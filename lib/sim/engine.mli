@@ -12,7 +12,7 @@ type 'msg t
 type stats = {
   mutable events_processed : int;
   mutable messages_sent : int;
-  mutable bytes_sent : float;
+  mutable bytes_sent : int;
 }
 
 (** [create ~n ~network ~seed ~msg_size ()] builds an engine for [n] nodes.
@@ -82,7 +82,10 @@ val node_rng : 'msg t -> int -> Rng.t
 val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
 
 (** [multicast t ~src msg] sends to every node; self-delivery is immediate.
-    The egress link serializes the [n - 1] copies in destination order. *)
+    The egress link serializes the [n - 1] copies in destination order.
+    Traffic stats count the [n - 1] network sends — the local self hand-off
+    is not serialized or propagated, so it contributes no messages or
+    bytes. *)
 val multicast : 'msg t -> src:int -> 'msg -> unit
 
 (** [set_timer t delay f] runs [f] after [delay] ms; returns a cancel thunk.

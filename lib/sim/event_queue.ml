@@ -39,18 +39,36 @@ let create () =
     next_seq = 0;
   }
 
-let grow t =
-  let cap = 2 * Array.length t.times in
+let set_capacity t cap =
   let times = Array.make cap 0. in
   Array.blit t.times 0 times 0 t.size;
   t.times <- times;
   let seqs = Array.make cap 0 in
   Array.blit t.seqs 0 seqs 0 t.size;
   t.seqs <- seqs;
-  (* Only reachable with [t.size > 0], so a fill value exists. *)
-  let values = Array.make cap t.values.(0) in
-  Array.blit t.values 0 values 0 t.size;
-  t.values <- values
+  (* The value array stays [[||]] until the first push supplies a fill
+     value; [push] then sizes it to match [times]. *)
+  if Array.length t.values > 0 then begin
+    let values = Array.make cap t.values.(0) in
+    Array.blit t.values 0 values 0 t.size;
+    t.values <- values
+  end
+
+let grow t = set_capacity t (2 * Array.length t.times)
+
+(* Bulk-push support: one capacity check for a whole multicast fan-out
+   instead of one per push. *)
+let reserve t extra =
+  if extra > 0 then begin
+    let needed = t.size + extra in
+    if needed > Array.length t.times then begin
+      let cap = ref (2 * Array.length t.times) in
+      while !cap < needed do
+        cap := 2 * !cap
+      done;
+      set_capacity t !cap
+    end
+  end
 
 let sift_up t i0 =
   let times = t.times and seqs = t.seqs and values = t.values in

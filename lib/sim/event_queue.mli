@@ -12,6 +12,11 @@ val create : unit -> 'a t
     non-finite time. *)
 val push : 'a t -> time:float -> 'a -> unit
 
+(** [reserve t extra] pre-grows the queue to hold [extra] further events —
+    the bulk-push path: a multicast fan-out reserves its n - 1 pushes once
+    instead of re-checking (and possibly re-growing) capacity per push. *)
+val reserve : 'a t -> int -> unit
+
 (** Earliest event, or [None] when empty. *)
 val pop : 'a t -> (float * 'a) option
 

@@ -137,11 +137,116 @@ let prop_accumulator_order_independent =
           match Bft_crypto.Accumulator.add acc () ~signer with
           | Bft_crypto.Accumulator.Threshold_reached signers ->
               incr fires;
-              if List.length signers <> threshold then fires := 100
+              if Bft_crypto.Signer_set.count signers <> threshold then
+                fires := 100
           | _ -> ())
         arrivals;
       let distinct = List.sort_uniq compare arrivals in
       if List.length distinct >= threshold then !fires = 1 else !fires = 0)
+
+(* Model-based check of the packed-word signer set: run an arbitrary
+   add/mem/copy sequence against a naive hashtable-of-ints model and
+   require every observation (returned booleans, count, to_list, iter and
+   fold order, copy independence) to agree.  [n] up to 70 crosses the
+   32-bit word boundaries, where the bit bookkeeping can actually go
+   wrong. *)
+let prop_signer_set_matches_model =
+  QCheck.Test.make ~count:300 ~name:"packed signer set matches a naive model"
+    QCheck.(pair (int_range 1 70) (small_list (pair (int_range 0 2) small_nat)))
+    (fun (n, ops) ->
+      let s = Bft_crypto.Signer_set.create ~n in
+      let model : (int, unit) Hashtbl.t = Hashtbl.create 16 in
+      let ok = ref true in
+      let check b = if not b then ok := false in
+      let model_list m =
+        List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) m [])
+      in
+      (* Latest copy, paired with the model at copy time: mutating [s]
+         afterwards must not show through. *)
+      let snapshot = ref None in
+      List.iter
+        (fun (kind, raw) ->
+          let i = raw mod n in
+          match kind with
+          | 0 ->
+              let fresh = not (Hashtbl.mem model i) in
+              if fresh then Hashtbl.replace model i ();
+              check (Bft_crypto.Signer_set.add s i = fresh)
+          | 1 -> check (Bft_crypto.Signer_set.mem s i = Hashtbl.mem model i)
+          | _ ->
+              snapshot :=
+                Some (Bft_crypto.Signer_set.copy s, model_list model))
+        ops;
+      let expected = model_list model in
+      check (Bft_crypto.Signer_set.count s = List.length expected);
+      check (Bft_crypto.Signer_set.capacity s = n);
+      check (Bft_crypto.Signer_set.to_list s = expected);
+      let iterated = ref [] in
+      Bft_crypto.Signer_set.iter (fun i -> iterated := i :: !iterated) s;
+      check (List.rev !iterated = expected);
+      check
+        (Bft_crypto.Signer_set.fold (fun i acc -> i :: acc) s []
+        = List.rev expected);
+      (match !snapshot with
+      | None -> ()
+      | Some (c, frozen) -> check (Bft_crypto.Signer_set.to_list c = frozen));
+      !ok)
+
+(* Same treatment for the accumulator: an arbitrary (key, signer) vote
+   sequence against a naive per-key set model reproducing the documented
+   outcome semantics — Duplicate wins over Already_complete, the count
+   freezes at the threshold, Threshold_reached fires exactly at it with a
+   set of exactly [threshold] signers. *)
+let prop_accumulator_matches_model =
+  QCheck.Test.make ~count:300
+    ~name:"accumulator outcomes match a naive per-key model"
+    QCheck.(pair (int_range 1 10) (small_list (pair (int_range 0 3) small_nat)))
+    (fun (threshold, votes) ->
+      let n = 10 in
+      let acc = Bft_crypto.Accumulator.create ~n ~threshold in
+      let model : (int, (int, unit) Hashtbl.t * int ref * bool ref) Hashtbl.t =
+        Hashtbl.create 4
+      in
+      let entry key =
+        match Hashtbl.find_opt model key with
+        | Some e -> e
+        | None ->
+            let e = (Hashtbl.create 8, ref 0, ref false) in
+            Hashtbl.add model key e;
+            e
+      in
+      let ok = ref true in
+      let check b = if not b then ok := false in
+      List.iter
+        (fun (key, raw) ->
+          let signer = raw mod n in
+          let signers, count, complete = entry key in
+          let expected =
+            if Hashtbl.mem signers signer then `Duplicate
+            else begin
+              Hashtbl.replace signers signer ();
+              if !complete then `Already_complete
+              else begin
+                incr count;
+                if !count >= threshold then begin
+                  complete := true;
+                  `Threshold
+                end
+                else `Added !count
+              end
+            end
+          in
+          (match (Bft_crypto.Accumulator.add acc key ~signer, expected) with
+          | Bft_crypto.Accumulator.Duplicate, `Duplicate -> ()
+          | Bft_crypto.Accumulator.Already_complete, `Already_complete -> ()
+          | Bft_crypto.Accumulator.Added c, `Added c' -> check (c = c')
+          | Bft_crypto.Accumulator.Threshold_reached s, `Threshold ->
+              check (Bft_crypto.Signer_set.count s = threshold)
+          | _ -> check false);
+          check (Bft_crypto.Accumulator.count acc key = !count);
+          check (Bft_crypto.Accumulator.is_complete acc key = !complete))
+        votes;
+      !ok)
 
 (* --- stats ------------------------------------------------------------------------------- *)
 
@@ -413,6 +518,44 @@ let prop_proposal_size_monotone_in_payload =
       let sb = Moonshot.Message.size (proposal b) in
       (a <= b) = (sa <= sb) || sa = sb)
 
+(* --- allocation budget ------------------------------------------------------------ *)
+
+(* Perf tripwire riding along with the property suite: a small Pipelined
+   Moonshot run must stay under a pinned bytes-allocated-per-event ceiling.
+   With the engine's message pools in place this config measures about
+   1050 B/event — at n=4 the per-view costs (blocks, certificates, vote
+   records, metrics conses) amortize over only 3-wide fan-outs, so the
+   figure is dominated by protocol allocations, not engine ones.  The 2500
+   ceiling leaves ~2.4x headroom for GC-state noise while still catching a
+   per-delivery allocation regression, which multiplies the figure.  A
+   warm-up run keeps one-time module/table initialization out of the
+   measurement. *)
+let alloc_budget_ceiling = 2_500.
+
+let alloc_budget () =
+  let cfg =
+    {
+      (Config.local Protocol_kind.Pipelined_moonshot ~n:4) with
+      Config.duration_ms = 3_000.;
+      payload_bytes = 0;
+    }
+  in
+  ignore (Harness.run cfg);
+  let events0 = Harness.events_processed_total () in
+  let alloc0 = Harness.bytes_allocated_total () in
+  let r = Harness.run cfg in
+  let events = Harness.events_processed_total () - events0 in
+  let alloc = Harness.bytes_allocated_total () - alloc0 in
+  Alcotest.(check bool)
+    "run made progress" true
+    (events > 0 && r.Harness.metrics.Metrics.committed_blocks > 0);
+  let per_event = float_of_int alloc /. float_of_int events in
+  Alcotest.(check bool)
+    (Printf.sprintf "%.0f bytes/event within %.0f ceiling" per_event
+       alloc_budget_ceiling)
+    true
+    (per_event <= alloc_budget_ceiling)
+
 let () =
   let q = List.map QCheck_alcotest.to_alcotest in
   Alcotest.run "properties"
@@ -426,7 +569,13 @@ let () =
             prop_determinism;
           ] );
       ("sim", q [ prop_event_queue_sorted ]);
-      ("crypto", q [ prop_accumulator_order_independent ]);
+      ( "crypto",
+        q
+          [
+            prop_accumulator_order_independent;
+            prop_signer_set_matches_model;
+            prop_accumulator_matches_model;
+          ] );
       ( "stats",
         q [ prop_percentile_bounds; prop_percentile_monotone; prop_outliers_partition ]
       );
@@ -445,4 +594,6 @@ let () =
           ]
         @ [ Alcotest.test_case "progress exists" `Quick fuzz_commits_somewhere ] );
       ("faults", q [ prop_random_fault_schedules ]);
+      ( "alloc",
+        [ Alcotest.test_case "bytes-per-event budget" `Quick alloc_budget ] );
     ]
