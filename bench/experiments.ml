@@ -616,9 +616,44 @@ type chaos_row = {
   c_result : Harness.run_result;
 }
 
-let chaos_json rows ~path =
+(* One live-socket crash/recover run (threads mode, 4 nodes).  Unlike the
+   simulator rows these are wall-clock measurements, so the [net] block
+   of BENCH_faults.json varies run to run — it reports what real crash
+   recovery costs on this machine, not a deterministic fixture. *)
+type chaos_net_row = {
+  cn_protocol : Protocol_kind.t;
+  cn_schedule : Bft_faults.Fault_schedule.t;
+  cn_result : Bft_net.Tcp.result;
+  cn_liveness : Bft_obs.Liveness.report;
+}
+
+let chaos_net_run protocol =
+  let n = 4 and blocks = 30 in
+  let faults =
+    match Bft_faults.Fault_schedule.of_string "crash@80:1;recover@260:1" with
+    | Ok f -> f
+    | Error e -> failwith e
+  in
+  let cfg =
+    {
+      (Net_harness.config protocol ~n ~blocks) with
+      Bft_net.Tcp.delta_ms = 150.;
+      link_delay_ms = 3.;
+      faults;
+      timeout_ms = 20_000.;
+    }
+  in
+  let cn_result = Net_harness.run protocol cfg in
+  {
+    cn_protocol = protocol;
+    cn_schedule = faults;
+    cn_result;
+    cn_liveness = Net_harness.net_liveness cn_result ~delta:150.;
+  }
+
+let chaos_json rows net_rows ~path =
   let b = Buffer.create 1024 in
-  Buffer.add_string b "{\n  \"schema\": \"bench_faults/v1\",\n  \"runs\": [\n";
+  Buffer.add_string b "{\n  \"schema\": \"bench_faults/v2\",\n  \"runs\": [\n";
   List.iteri
     (fun i { c_protocol; c_seed; c_schedule; c_result } ->
       if i > 0 then Buffer.add_string b ",\n";
@@ -650,6 +685,38 @@ let chaos_json rows ~path =
         live.Bft_obs.Liveness.recoveries;
       Buffer.add_string b "]}")
     rows;
+  Buffer.add_string b "\n  ],\n  \"net\": [\n";
+  List.iteri
+    (fun i { cn_protocol; cn_schedule; cn_result; cn_liveness } ->
+      if i > 0 then Buffer.add_string b ",\n";
+      let sum f =
+        Array.fold_left (fun acc nr -> acc + f nr) 0 cn_result.Bft_net.Tcp.nodes
+      in
+      let recovery_ms, catch_up_ms =
+        match cn_liveness.Bft_obs.Liveness.recoveries with
+        | r :: _ ->
+            ( Printf.sprintf "%.0f"
+                (r.Bft_obs.Liveness.recovered_at_ms
+                -. r.Bft_obs.Liveness.crashed_at_ms),
+              match r.Bft_obs.Liveness.caught_up_at_ms with
+              | Some t ->
+                  Printf.sprintf "%.0f"
+                    (t -. r.Bft_obs.Liveness.recovered_at_ms)
+              | None -> "null" )
+        | [] -> ("null", "null")
+      in
+      Printf.bprintf b
+        "    {\"protocol\": %S, \"schedule\": %S, \"mode\": \"threads\",\n\
+        \     \"wall_ms\": %.0f, \"recovery_ms\": %s, \"catch_up_ms\": %s,\n\
+        \     \"reconnect_attempts\": %d, \"restarts\": %d, \
+         \"healing_bytes\": %d}"
+        (Protocol_kind.short_name cn_protocol)
+        (Bft_faults.Fault_schedule.to_string cn_schedule)
+        cn_result.Bft_net.Tcp.wall_ms recovery_ms catch_up_ms
+        (sum (fun nr -> nr.Bft_net.Tcp.reconnects))
+        (sum (fun nr -> nr.Bft_net.Tcp.restarts))
+        (sum (fun nr -> nr.Bft_net.Tcp.bytes_heal)))
+    net_rows;
   Buffer.add_string b "\n  ]\n}\n";
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (Buffer.contents b))
@@ -717,9 +784,50 @@ let chaos scale =
         ])
     rows;
   Table.print Format.std_formatter t;
-  chaos_json rows ~path:"BENCH_faults.json";
+  (* Socket leg: the same crash/recover story on real TCP connections,
+     threads mode, one run per protocol.  Sequential on purpose — each
+     run owns the process's signal handling and ephemeral ports. *)
+  Format.printf "@.-- live sockets (threads mode, n=4, crash node 1) --@.@.";
+  let net_rows = List.map chaos_net_run protocols in
+  let tn =
+    Table.create
+      [ "protocol"; "wall ms"; "recovery ms"; "catch-up ms"; "reconnects";
+        "heal kB" ]
+  in
+  List.iter
+    (fun { cn_protocol; cn_result; cn_liveness; _ } ->
+      let sum f =
+        Array.fold_left (fun acc nr -> acc + f nr) 0 cn_result.Bft_net.Tcp.nodes
+      in
+      let recovery_ms, catch_up_ms =
+        match cn_liveness.Bft_obs.Liveness.recoveries with
+        | r :: _ ->
+            ( Printf.sprintf "%.0f"
+                (r.Bft_obs.Liveness.recovered_at_ms
+                -. r.Bft_obs.Liveness.crashed_at_ms),
+              match r.Bft_obs.Liveness.caught_up_at_ms with
+              | Some t ->
+                  Printf.sprintf "%.0f"
+                    (t -. r.Bft_obs.Liveness.recovered_at_ms)
+              | None -> "-" )
+        | [] -> ("-", "-")
+      in
+      Table.add_row tn
+        [
+          Protocol_kind.short_name cn_protocol;
+          Printf.sprintf "%.0f" cn_result.Bft_net.Tcp.wall_ms;
+          recovery_ms;
+          catch_up_ms;
+          string_of_int (sum (fun nr -> nr.Bft_net.Tcp.reconnects));
+          Printf.sprintf "%.1f"
+            (float_of_int (sum (fun nr -> nr.Bft_net.Tcp.bytes_heal))
+            /. 1024.);
+        ])
+    net_rows;
+  Table.print Format.std_formatter tn;
+  chaos_json rows net_rows ~path:"BENCH_faults.json";
   Format.printf
-    "@.(every row survived its schedule: zero safety violations, every@.      liveness checkpoint met; catch-up = recovery to quorum height;@.      details in BENCH_faults.json)@."
+    "@.(every row survived its schedule: zero safety violations, every@.      liveness checkpoint met; catch-up = recovery to quorum height;@.      the net block reports wall-clock healing cost on real sockets;@.      details in BENCH_faults.json)@."
 
 (* --- beyond-paper scale (n = 1000) ------------------------------------------ *)
 

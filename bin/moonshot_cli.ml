@@ -176,10 +176,28 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one protocol on a simulated network" ~man)
     term
 
+let fault_sched_conv =
+  let parse s =
+    match Bft_faults.Fault_schedule.of_string s with
+    | Ok f -> Ok f
+    | Error e -> Error (`Msg e)
+  in
+  let print ppf f =
+    Format.pp_print_string ppf (Bft_faults.Fault_schedule.to_string f)
+  in
+  Arg.conv (parse, print)
+
 let run_net_cmd =
   let mode_conv =
     Arg.enum
       [ ("threads", Bft_net.Tcp.Threads); ("procs", Bft_net.Tcp.Processes) ]
+  in
+  let clock_conv =
+    Arg.enum
+      [
+        ("wall", Bft_net.Fault_plane.Wall_ms);
+        ("views", Bft_net.Fault_plane.Views);
+      ]
   in
   let blocks =
     Arg.(
@@ -238,9 +256,55 @@ let run_net_cmd =
              per-node commit heights, all nodes agree on their common \
              prefix.  Exit non-zero on violation.")
   in
+  let faults =
+    Arg.(
+      value
+      & opt fault_sched_conv Bft_faults.Fault_schedule.empty
+      & info [ "faults" ] ~docv:"SCHEDULE"
+          ~doc:
+            "Fault schedule to inject, in the simulator's schedule syntax \
+             (e.g. $(b,crash\\@150:2;recover\\@700:2) or \
+             $(b,loss\\@100-400:1>2:0.5)).  Crashes kill the node for real \
+             — SIGKILL in $(b,procs) mode — and recovery replays its WAL.")
+  in
+  let fault_clock =
+    Arg.(
+      value
+      & opt clock_conv Bft_net.Fault_plane.Wall_ms
+      & info [ "fault-clock" ] ~docv:"CLOCK"
+          ~doc:
+            "How schedule times are read: $(b,wall) as milliseconds since \
+             cluster start, $(b,views) as view numbers (the logical clock \
+             used by $(b,crossval-chaos)).")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt int 17
+      & info [ "fault-seed" ] ~docv:"SEED"
+          ~doc:"Seed for probabilistic loss windows.")
+  in
+  let link_delay =
+    Arg.(
+      value & opt float 0.
+      & info [ "link-delay" ] ~docv:"MS"
+          ~doc:
+            "Pace every link by delaying each outbound frame this many \
+             milliseconds (in addition to any delay windows in the \
+             schedule).")
+  in
+  let wal_dir =
+    Arg.(
+      value & opt (some string) None
+      & info [ "wal-dir" ] ~docv:"DIR"
+          ~doc:
+            "Directory for per-node write-ahead logs (used by crash \
+             recovery).  Default: a fresh temporary directory.")
+  in
   let run verbose protocol n blocks payload delta mode port trace_file timeout
-      check =
+      check faults fault_clock fault_seed link_delay wal_dir =
     setup_logs verbose;
+    let module FS = Bft_faults.Fault_schedule in
+    let faulted = not (FS.is_empty faults) in
     let cfg =
       {
         (Net_harness.config protocol ~n ~blocks) with
@@ -250,6 +314,11 @@ let run_net_cmd =
         base_port = port;
         trace = trace_file <> None;
         timeout_ms = timeout *. 1000.;
+        faults;
+        fault_clock;
+        fault_seed;
+        link_delay_ms = link_delay;
+        wal_dir;
       }
     in
     let r = Net_harness.run protocol cfg in
@@ -263,15 +332,76 @@ let run_net_cmd =
       blocks
       (if r.reached_target then "reached" else "NOT reached")
       r.wall_ms;
+    (match r.outcome with
+    | Completed -> ()
+    | Timed_out -> Format.printf "outcome         : TIMED OUT@.");
     Array.iter
       (fun nr ->
         Format.printf
           "node %d          : %d commits, %d msgs out (%.1f kB), %d decode \
-           errors@."
+           errors%s@."
           nr.id (List.length nr.commits) nr.messages_sent
           (float_of_int nr.bytes_sent /. 1024.)
-          nr.decode_errors)
+          nr.decode_errors
+          (if nr.restarts > 0 || nr.reconnects > 0 then
+             Printf.sprintf ", %d restarts, %d reconnects" nr.restarts
+               nr.reconnects
+           else "");
+        let per_peer label counts =
+          if Array.exists (fun c -> c > 0) counts then begin
+            Format.printf "                  %s by peer:" label;
+            Array.iteri
+              (fun peer c -> if c > 0 then Format.printf " %d<-%d" c peer)
+              counts;
+            Format.printf "@."
+          end
+        in
+        per_peer "malformed" nr.malformed_by_peer;
+        per_peer "dropped" nr.dropped_by_peer)
       r.nodes;
+    if r.fault_events <> [] then begin
+      Format.printf "fault timeline  :@.";
+      List.iter
+        (fun fe ->
+          let kind =
+            match fe.fe_kind with
+            | Bft_obs.Trace.Crash -> "crash"
+            | Recover -> "recover"
+            | Partition_start -> "partition start"
+            | Partition_heal -> "partition heal"
+            | Loss_start -> "loss start"
+            | Loss_end -> "loss end"
+            | Delay_start -> "delay start"
+            | Delay_end -> "delay end"
+          in
+          if fe.fe_node >= 0 then
+            Format.printf "  %8.1f ms  %s node %d@." fe.fe_time_ms kind
+              fe.fe_node
+          else Format.printf "  %8.1f ms  %s@." fe.fe_time_ms kind)
+        r.fault_events
+    end;
+    (if faulted then
+       match Net_harness.net_liveness r ~delta with
+       | report ->
+           List.iter
+             (fun (rec_ : Bft_obs.Liveness.recovery) ->
+               Format.printf
+                 "recovery        : node %d down %.0f ms, %s@." rec_.node
+                 (rec_.recovered_at_ms -. rec_.crashed_at_ms)
+                 (match rec_.caught_up_at_ms with
+                 | Some t ->
+                     Printf.sprintf "caught up to height %d in %.0f ms"
+                       rec_.target_height
+                       (t -. rec_.recovered_at_ms)
+                 | None -> "never caught up"))
+             report.recoveries;
+           Format.printf
+             "liveness        : max quorum-commit gap %.0f ms (bound %.0f \
+              ms after last disruption)@."
+             report.max_quorum_gap_ms report.bound_ms
+       | exception Bft_obs.Liveness.Violation msg ->
+           Format.printf "liveness        : VIOLATION (%s)@." msg;
+           if check then exit 1);
     (let lat = List.map snd (quorum_latencies r ~quorum) in
      if lat <> [] then
        Format.printf "quorum latency  : %.1f ms avg, %.1f ms p50 (%d blocks)@."
@@ -291,17 +421,27 @@ let run_net_cmd =
         close_out oc;
         Format.printf "trace           : %d events -> %s@." (List.length lines)
           path);
-    if check then
-      match Net_harness.check r ~target:blocks with
+    if check then begin
+      let verdict =
+        if FS.crash_count faults > 0 then
+          (* A crashed node loses uncommitted progress, so heights are
+             not dense per node; chaos sanity checks prefix agreement
+             and recovery instead. *)
+          Net_harness.check_chaos r ~target:blocks
+        else Net_harness.check r ~target:blocks
+      in
+      match verdict with
       | Ok () -> Format.printf "check           : OK@."
       | Error reason ->
           Format.printf "check           : FAILED (%s)@." reason;
           exit 1
+    end
   in
   let term =
     Term.(
       const run $ verbose $ protocol $ nodes ~default:4 $ blocks $ payload
-      $ delta $ mode $ port $ trace_file $ timeout $ check)
+      $ delta $ mode $ port $ trace_file $ timeout $ check $ faults
+      $ fault_clock $ fault_seed $ link_delay $ wal_dir)
   in
   let man =
     [
@@ -325,7 +465,10 @@ let run_net_cmd =
         \  # One OS process per validator, fixed ports, JSONL trace\n\
         \  moonshot run-net -p J --mode procs --port 7000 --trace net.jsonl\n\n\
         \  # 2 kB payloads over the sockets\n\
-        \  moonshot run-net -p PM --payload 2048 --blocks 100";
+        \  moonshot run-net -p PM --payload 2048 --blocks 100\n\n\
+        \  # Kill node 2 for real (SIGKILL) at 150 ms, re-spawn at 700 ms\n\
+        \  moonshot run-net -p CM --mode procs --blocks 40 \\\n\
+        \      --faults 'crash@150:2;recover@700:2' --delta 300 --check";
     ]
   in
   Cmd.v
@@ -388,6 +531,91 @@ let crossval_cmd =
        ~doc:"Cross-validate simulator against TCP substrate" ~man)
     term
 
+let crossval_chaos_cmd =
+  let seed =
+    Arg.(
+      value & opt int 7
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Seed for drawing the random logical fault schedule.")
+  in
+  let run verbose protocol n seed =
+    setup_logs verbose;
+    let module FS = Bft_faults.Fault_schedule in
+    let cv = Net_harness.cross_validate_chaos ~n ~seed ~protocol () in
+    Format.printf "protocol : %a (n=%d, %d blocks)@." Protocol_kind.pp protocol
+      n cv.Net_harness.blocks;
+    Format.printf "schedule : %s (times are view numbers)@."
+      (FS.to_string cv.Net_harness.schedule);
+    let print_liveness label (report : Bft_obs.Liveness.report) =
+      List.iter
+        (fun (rec_ : Bft_obs.Liveness.recovery) ->
+          Format.printf "%s : node %d down %.0f ms, %s@." label rec_.node
+            (rec_.recovered_at_ms -. rec_.crashed_at_ms)
+            (match rec_.caught_up_at_ms with
+            | Some t ->
+                Printf.sprintf "caught up to height %d in %.0f ms"
+                  rec_.target_height
+                  (t -. rec_.recovered_at_ms)
+            | None -> "NEVER CAUGHT UP"))
+        report.recoveries;
+      Format.printf "%s : max quorum-commit gap %.0f ms (bound %.0f ms)@."
+        label report.max_quorum_gap_ms report.bound_ms
+    in
+    print_liveness "threads " cv.Net_harness.thread_liveness;
+    print_liveness "procs   " cv.Net_harness.process_liveness;
+    if cv.Net_harness.agree then
+      Format.printf
+        "crossval : OK — sim, thread and process runs agree on all %d \
+         commits@."
+        cv.Net_harness.blocks
+    else begin
+      let show chain =
+        String.concat " "
+          (List.map
+             (fun (c : Net_harness.commit_id) ->
+               Printf.sprintf "%d@%d" c.height c.view)
+             chain)
+      in
+      Format.printf "sim     : %s@." (show cv.Net_harness.sim_chain);
+      Format.printf "threads : %s@." (show cv.Net_harness.thread_chain);
+      Format.printf "procs   : %s@." (show cv.Net_harness.process_chain);
+      Format.printf "crossval : FAILED — committed chains differ@.";
+      exit 1
+    end
+  in
+  let term =
+    Term.(const run $ verbose $ protocol $ nodes ~default:4 $ seed)
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Draws a random fault schedule anchored to $(i,view numbers) — one \
+         crash/recover cycle plus one partition window — and replays it on \
+         all three execution substrates: the discrete-event simulator, a \
+         threads-mode TCP cluster and a fork-per-validator TCP cluster.  \
+         Because every trigger is a function of protocol state rather than \
+         wall time, all three runs must commit the identical (height, \
+         view, hash) chain; any divergence is a bug in fault injection, \
+         WAL recovery, Sync catch-up or a codec.";
+      `P
+        "The crash is a real kill: in process mode the victim dies by \
+         SIGKILL and is re-spawned, rebuilding its state from its \
+         write-ahead log and catching up over the wire.";
+      `S Manpage.s_examples;
+      `Pre
+        "  # Default: commit-moonshot, 4 nodes\n\
+        \  moonshot crossval-chaos\n\n\
+        \  # All five protocols, a different schedule\n\
+        \  for p in SM PM CM J HS; do moonshot crossval-chaos -p $p --seed \
+         11; done";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "crossval-chaos"
+       ~doc:"Cross-validate chaotic runs across all substrates" ~man)
+    term
+
 let table1_cmd =
   let man =
     [
@@ -446,4 +674,11 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; run_net_cmd; crossval_cmd; table1_cmd; table2_cmd ]))
+          [
+            run_cmd;
+            run_net_cmd;
+            crossval_cmd;
+            crossval_chaos_cmd;
+            table1_cmd;
+            table2_cmd;
+          ]))

@@ -149,3 +149,40 @@ let decode body =
 
 let encode_msg = encode
 let decode_msg body = Result.map_error Wire.error_to_string (decode body)
+
+(* WAL snapshots, for durable (file-backed) write-ahead logs on the live
+   transport.  Not a wire frame: no version/tag envelope — the blob lives
+   in a file the same node wrote.  All five protocol variants share
+   [Wal.t], so this one codec serves them all. *)
+
+let encode_wal (wal : Wal.t) =
+  let w = W.create () in
+  (match Wal.load wal with
+  | None -> W.u8 w 0
+  | Some s ->
+      W.u8 w 1;
+      W.uvar w s.Wal.cur_view;
+      write_cert w s.Wal.lock;
+      W.uvar w s.Wal.timeout_view;
+      W.option w write_block s.Wal.voted_opt;
+      W.bool w s.Wal.voted_main);
+  W.contents w
+
+let decode_wal body =
+  Wire.run_decoder (fun () ->
+      let r = R.of_string body in
+      let wal = Wal.create () in
+      (match R.u8 r with
+      | 0 -> ()
+      | 1 ->
+          let cur_view = R.uvar r in
+          let lock = read_cert r in
+          let timeout_view = R.uvar r in
+          let voted_opt = R.option r read_block in
+          let voted_main = R.bool r in
+          Wal.record wal
+            { Wal.cur_view; lock; timeout_view; voted_opt; voted_main }
+      | t -> Wire.bad_tag t);
+      R.expect_end r;
+      wal)
+  |> Result.map_error Wire.error_to_string

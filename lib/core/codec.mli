@@ -65,3 +65,18 @@ val decode : string -> (Message.t, Bft_net.Wire.error) result
 val encode_msg : Message.t -> string
 
 val decode_msg : string -> (Message.t, string) result
+
+(** {2 WAL snapshots}
+
+    Byte codec for {!Wal.t} latest-record snapshots, backing the durable
+    file-based WALs the live transport's crash-recovery uses
+    ({!Bft_net.Tcp}).  Not a wire frame (no version/tag envelope): the
+    blob is read back only by the node that wrote it.  All five protocol
+    variants share {!Wal.t}, so this codec serves every
+    [Protocol_intf.S.wal_encode]/[wal_decode]. *)
+
+val encode_wal : Wal.t -> string
+
+(** Total inverse of {!encode_wal}: a fresh WAL holding the decoded
+    latest record (empty when the snapshot was of an empty log). *)
+val decode_wal : string -> (Wal.t, string) result

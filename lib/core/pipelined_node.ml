@@ -547,6 +547,8 @@ let wal_consistent t =
 
 module Mc = struct
   let encode_msg = Codec.encode_msg
+  let wal_encode = Codec.encode_wal
+  let wal_decode = Codec.decode_wal
   let decode_msg = Codec.decode_msg
   let msg_digest = Message.digest
   let pp_msg = Message.pp

@@ -429,6 +429,8 @@ module Protocol = struct
   type wal = Wal.t
 
   let wal_create = Wal.create
+  let wal_encode = Codec.encode_wal
+  let wal_decode = Codec.decode_wal
   let create ?(equivocate = false) ?wal env = create ~equivocate ?wal env
   let start = start
   let handle = handle

@@ -177,6 +177,54 @@ let random ~rng ~n ~f ~duration ~delta =
   end;
   sorted !events
 
+(* One liveness checkpoint per disruption-free point: GST and every
+   heal/recovery.  A checkpoint whose [bound]-long window contains a later
+   disruption (an open partition/loss/delay window, a crash→recover span —
+   unrecovered crashes span to infinity — or the run's horizon) measures
+   the network mid-fault, so the later point carries the bound instead. *)
+let checkpoints ~gst ~horizon ~bound t =
+  let heals = heal_times t in
+  let points = List.sort_uniq Float.compare (gst :: heals) in
+  let crash_spans =
+    List.filter_map
+      (function
+        | Crash { node; at } ->
+            let recovery =
+              List.filter_map
+                (function
+                  | Recover { node = n'; at = r } when n' = node && r > at ->
+                      Some r
+                  | _ -> None)
+                t
+            in
+            Some
+              ( at,
+                match recovery with
+                | [] -> infinity
+                | rs -> List.fold_left Float.min (List.hd rs) rs )
+        | _ -> None)
+      t
+  in
+  let windows =
+    crash_spans
+    @ List.filter_map
+        (function
+          | Partition { from_; until; _ }
+          | Link_loss { from_; until; _ }
+          | Delay_spike { from_; until; _ } ->
+              Some (from_, until)
+          | Crash _ | Recover _ -> None)
+        t
+  in
+  List.filter
+    (fun d ->
+      let deadline = d +. bound in
+      not
+        (deadline > horizon
+        || List.exists (fun d' -> d' > d && d' <= deadline) points
+        || List.exists (fun (a, b) -> a < deadline && b > d) windows))
+    points
+
 let demo ~n ~leader ~crash_at ~partition_at ~heal_at ~recover_at =
   let survivors = List.filter (fun i -> i <> leader) (List.init n (fun i -> i)) in
   let rec split k = function

@@ -66,6 +66,16 @@ val validate : n:int -> f:int -> byzantine:int list -> t -> unit
 val random :
   rng:Bft_sim.Rng.t -> n:int -> f:int -> duration:float -> delta:float -> t
 
+(** [checkpoints ~gst ~horizon ~bound t] — the disruption-free points of
+    the schedule (GST plus every heal/recovery) at which a liveness bound
+    of [bound] ms is enforceable: points whose [[d, d + bound]] window
+    runs past [horizon], contains a later disruption-free point, or
+    overlaps a disruption window (open partition/loss/delay windows and
+    crash→recover spans, unrecovered crashes spanning to infinity) are
+    superseded and dropped.  Shared by the simulator harness and the
+    net-trace liveness replay so both enforce identical semantics. *)
+val checkpoints : gst:float -> horizon:float -> bound:float -> t -> float list
+
 (** The acceptance-demo timeline: crash [leader] at [crash_at], partition
     the survivors into two halves during [[partition_at, heal_at)], recover
     the crashed node at [recover_at]. *)

@@ -23,6 +23,8 @@ module Protocol = struct
   type wal = Moonshot.Wal.t
 
   let wal_create = Moonshot.Wal.create
+  let wal_encode = Moonshot.Codec.encode_wal
+  let wal_decode = Moonshot.Codec.decode_wal
   let create ?(equivocate = false) ?wal env = create ~equivocate ?wal env
   let start = start
   let handle = handle

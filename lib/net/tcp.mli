@@ -9,8 +9,8 @@
     timers, and [now] reads the wall clock (milliseconds since cluster
     start).  Two execution modes share all of this code:
 
-    - {!Threads}: each validator is one executor thread (plus a sender
-      thread) inside the calling process;
+    - {!Threads}: each validator is one executor thread (plus a
+      {!Conn_manager} sender thread) inside the calling process;
     - {!Processes}: each validator is a forked child process; results
       travel back to the coordinator over pipes as
       {!Bft_net.Wire}-encoded blobs.
@@ -25,6 +25,22 @@
     desynchronizing framing errors (a bad length prefix, a mid-frame EOF)
     close only the offending connection — neither crashes a node.
 
+    {2 Fault injection}
+
+    A {!Bft_faults.Fault_schedule.t} in [config.faults] is compiled to a
+    {!Fault_plane.t} and interposed below the codec layer (see
+    [docs/WIRE.md]): partitions and loss drop frames at send time, delay
+    windows and [link_delay_ms] hold them in the sender queue.  Crashes
+    are real: in {!Threads} mode the incarnation tears down its sockets
+    and its supervisor waits for the recovery order before rebuilding the
+    node (same port, WAL snapshot threaded through); in {!Processes} mode
+    the child kills itself with [SIGKILL] at an event boundary and the
+    coordinator re-forks it, the new incarnation rebuilding from the WAL
+    file it persisted after every event and catching up via sync.  With
+    [fault_clock = Views] the schedule is interpreted logically
+    ({!Bft_faults.Logical}) — identically to the simulator harness, which
+    is what makes chaos chains comparable across substrates.
+
     The cluster runs until every node has committed [target_blocks]
     blocks (each node keeps running after reaching its own target so its
     votes keep serving slower peers) or until [timeout_ms] of wall time,
@@ -34,11 +50,18 @@ open Bft_types
 
 type mode = Threads | Processes
 
+(** How the run ended.  {!Timed_out} does not mean the deadline expired —
+    it means cooperative shutdown failed and force-teardown was needed:
+    the threads-mode watchdog had to close sockets out from under a
+    wedged executor, or a child process survived [SIGTERM] and had to be
+    [SIGKILL]ed. *)
+type outcome = Completed | Timed_out
+
 type config = {
   n : int;  (** Cluster size. *)
   delta_ms : float;  (** Delay bound handed to the nodes (timer base). *)
   payload_bytes : int;  (** Per-block payload size (padding on the wire). *)
-  target_blocks : int;  (** Stop once every node committed this many. *)
+  target_blocks : int;  (** Stop once every node committed this height. *)
   timeout_ms : float;  (** Wall-clock safety net. *)
   mode : mode;
   base_port : int option;
@@ -49,10 +72,23 @@ type config = {
   protocol_name : string;
       (** Advertised in the [hello] frame; a receiver drops connections
           whose hello names a different protocol or cluster size. *)
+  faults : Bft_faults.Fault_schedule.t;
+      (** Fault schedule; validated against the [f = (n-1)/3] budget. *)
+  fault_clock : Fault_plane.clock;
+      (** How schedule times are read: wall milliseconds or views. *)
+  fault_seed : int;  (** Seed for link-loss draws. *)
+  link_delay_ms : float;
+      (** Uniform sender-side pacing per frame; logical-clock runs use it
+          to keep view duration well above restart-and-redial time. *)
+  wal_dir : string option;
+      (** Directory for per-node WAL snapshot files ([node-<i>.wal],
+          stale ones removed at cluster start).  Defaults to a temp
+          directory when a process-mode schedule crashes anyone. *)
 }
 
 (** [default ~n ~target_blocks] — threads mode, ephemeral ports, empty
-    payload, [delta] 1 s, round-robin leaders, 60 s timeout, no trace. *)
+    payload, [delta] 1 s, round-robin leaders, 60 s timeout, no trace,
+    no faults. *)
 val default : n:int -> target_blocks:int -> config
 
 (** One block commit as observed by one node, in local commit order. *)
@@ -69,14 +105,36 @@ type proposal = { p_height : int; p_hash : int64; p_time_ms : float }
 
 type node_result = {
   id : int;
-  commits : commit list;  (** Commit order = chain order. *)
+  commits : commit list;
+      (** Commit order = chain order; a node that crashed and recovered
+          contributes every incarnation's commits, so a height committed
+          both before the crash and during catch-up appears twice (in
+          process mode the crashed incarnation's list dies with the
+          process and only the final incarnation's survives). *)
   proposals : proposal list;
   trace_lines : string list;
       (** {!Bft_obs.Trace.event_to_json} lines in emission order;
           [[]] when untraced. *)
-  decode_errors : int;  (** Malformed frame bodies skipped. *)
+  decode_errors : int;  (** Malformed frame bodies skipped (total). *)
   messages_sent : int;  (** Frames written to peers (self excluded). *)
   bytes_sent : int;  (** Wire bytes written, length prefixes included. *)
+  bytes_heal : int;
+      (** Bytes written inside post-heal/recovery accounting windows —
+          the traffic cost of healing. *)
+  reconnects : int;  (** Outbound connections re-established. *)
+  restarts : int;  (** Incarnations beyond the first. *)
+  malformed_by_peer : int array;  (** Per-peer malformed frame bodies. *)
+  dropped_by_peer : int array;
+      (** Per-peer frames dropped at send time (fault interposition,
+          dead peer, reconnect backoff). *)
+}
+
+(** A crash, recovery or fault-window edge as it actually happened on the
+    wall clock ([fe_node = -1] for network-wide window edges). *)
+type fault_event = {
+  fe_time_ms : float;
+  fe_node : int;
+  fe_kind : Bft_obs.Trace.fault;
 }
 
 type result = {
@@ -84,20 +142,26 @@ type result = {
   wall_ms : float;  (** Run length, cluster start to shutdown. *)
   reached_target : bool;
       (** Every node committed [target_blocks] before the timeout. *)
+  outcome : outcome;
+  fault_events : fault_event list;  (** Time-sorted. *)
 }
 
 (** Run a cluster.  Raises [Invalid_argument] on a config with [n < 1],
-    a non-positive target, or a fixed port range that does not fit. *)
+    a non-positive target, a fixed port range that does not fit, a
+    schedule outside the fault budget, or a [Views]-clock schedule that
+    is not a valid logical schedule. *)
 val run : (module Protocol_intf.S with type msg = 'm) -> config -> result
 
 (** [merged_trace result ~quorum] interleaves every node's trace lines
     into one time-sorted JSONL document and synthesizes the
     [quorum_commit] event for each block committed by at least [quorum]
-    nodes — the same event families a traced simulator run emits, so
-    sim and socket traces feed the same latency tooling. *)
+    nodes plus a [fault] event per entry of [result.fault_events] — the
+    same event families a traced simulator run emits, so sim and socket
+    traces feed the same latency and liveness tooling. *)
 val merged_trace : result -> quorum:int -> string list
 
 (** Per-block quorum-commit latency samples [(height, latency_ms)]:
     time from first proposal to the [quorum]-th node's commit, for
-    blocks that reached it. *)
+    blocks that reached it.  A node counts at most once per block even
+    if it re-committed it after a recovery. *)
 val quorum_latencies : result -> quorum:int -> (int * float) list

@@ -87,7 +87,8 @@ let rows events =
           a.a_bytes <- a.a_bytes + bytes
       | Trace.Delivered { view = None; _ } -> ()
       | Trace.Committed _ -> ()
-      | Trace.Fault _ -> ()  (* no view axis; the timeline pp shows them *)
+      (* No view axis; the timeline pp shows them. *)
+      | Trace.Fault _ | Trace.Link_report _ -> ()
       | Trace.Quorum_commit { view; _ } ->
           let a = get view in
           a.a_commit <- min_opt a.a_commit time)

@@ -23,6 +23,7 @@ type kind =
   | Committed of { view : int; height : int }
   | Quorum_commit of { view : int; height : int }
   | Fault of fault
+  | Link_report of { peer : int; malformed : int; dropped : int }
 
 type event = { time : float; node : int; kind : kind }
 
@@ -133,7 +134,12 @@ let add_event_json b { time; node; kind } =
       buf_field b ~first:false "height" (string_of_int height)
   | Fault fault ->
       buf_str_field b ~first:false "ev" "fault";
-      buf_str_field b ~first:false "fault" (fault_name fault));
+      buf_str_field b ~first:false "fault" (fault_name fault)
+  | Link_report { peer; malformed; dropped } ->
+      buf_str_field b ~first:false "ev" "link_report";
+      buf_field b ~first:false "peer" (string_of_int peer);
+      buf_field b ~first:false "malformed" (string_of_int malformed);
+      buf_field b ~first:false "dropped" (string_of_int dropped));
   Buffer.add_char b '}'
 
 let event_to_json ev =
@@ -174,3 +180,6 @@ let pp_event ppf { time; node; kind } =
         Format.fprintf ppf "%8.1f ms  node %d  FAULT %s" time node
           (fault_name fault)
       else Format.fprintf ppf "%8.1f ms  network  FAULT %s" time (fault_name fault)
+  | Link_report { peer; malformed; dropped } ->
+      Format.fprintf ppf "%8.1f ms  node %d  LINK peer=%d malformed=%d dropped=%d"
+        time node peer malformed dropped

@@ -49,6 +49,12 @@ type kind =
   | Committed of { view : int; height : int }
   | Quorum_commit of { view : int; height : int }
   | Fault of fault
+  | Link_report of { peer : int; malformed : int; dropped : int }
+      (** Live-transport link health, emitted by {!Bft_net.Tcp} at node
+          shutdown for every peer with nonzero counters: [malformed] =
+          undecodable frame bodies received from [peer]; [dropped] =
+          frames to [peer] dropped at send time (fault interposition,
+          dead peer, reconnect backoff). *)
 
 (** [node] is the acting node: the emitter for node events, the receiver
     for deliveries, the committing node for (quorum) commits, the affected

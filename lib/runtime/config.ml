@@ -19,6 +19,7 @@ type t = {
   equivocators : int list;
   byzantine : (int * Byzantine.t) list;
   faults : Bft_faults.Fault_schedule.t;
+  logical_faults : bool;
 }
 
 let default protocol ~n =
@@ -41,6 +42,7 @@ let default protocol ~n =
     equivocators = [];
     byzantine = [];
     faults = Bft_faults.Fault_schedule.empty;
+    logical_faults = false;
   }
 
 let local protocol ~n =
@@ -88,7 +90,11 @@ let validate t =
   in
   Bft_faults.Fault_schedule.validate ~n:t.n ~f
     ~byzantine:(List.sort_uniq compare (silent @ distinct))
-    t.faults
+    t.faults;
+  if t.logical_faults then
+    match Bft_faults.Logical.of_schedule ~n:t.n t.faults with
+    | Ok _ -> ()
+    | Error e -> invalid_arg ("Config: bad logical schedule: " ^ e)
 
 
 let pp ppf t =

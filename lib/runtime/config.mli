@@ -39,6 +39,16 @@ type t = {
           inside the [f] budget jointly with the Byzantine sets; the empty
           schedule (default) leaves the run byte-identical to one without
           fault machinery. *)
+  logical_faults : bool;
+      (** Interpret [faults] on the view clock ({!Bft_faults.Logical}):
+          event times are view numbers, crashes trigger when the victim
+          reaches its anchor view, recoveries when node 0 (the observer)
+          does, and partitions gate each send on the sender's view at
+          send time.  The same interpretation the live transport applies
+          under [fault_clock = Views], which is what makes chaos chains
+          comparable across substrates.  The harness raises
+          [Invalid_argument] if the schedule is not a valid logical
+          schedule ({!Bft_faults.Logical.of_schedule}). *)
 }
 
 (** The paper's WAN setting: [Wan] latencies, 10 Gbit/s egress,

@@ -47,6 +47,12 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ()) ?trace
   in
   let faults = Bft_faults.Fault_schedule.sorted cfg.Config.faults in
   let faulted = not (Bft_faults.Fault_schedule.is_empty faults) in
+  let logical = faulted && cfg.Config.logical_faults in
+  let lg =
+    if logical then
+      Some (Bft_faults.Logical.of_schedule_exn ~n:cfg.Config.n faults)
+    else None
+  in
   let network =
     Bft_sim.Network.make
       ?bandwidth_bps:cfg.Config.bandwidth_bps
@@ -115,6 +121,20 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ()) ?trace
     Bft_workload.Schedules.leader_of cfg.Config.schedule ~n:cfg.Config.n
       ~f':cfg.Config.f_actual
   in
+  (* Logical-clock fault machinery: the current incarnation of every node
+     (for view reads) and a forward reference to the between-events hook
+     the faulted block installs below.  Both are inert unless [logical]:
+     the hook stays a no-op and handlers are installed unwrapped. *)
+  let node_refs : P.node option array = Array.make cfg.Config.n None in
+  let after_event_hook = ref (fun (_ : int) -> ()) in
+  let install id node =
+    node_refs.(id) <- Some node;
+    if logical then
+      Bft_sim.Engine.set_handler engine id (fun ~src msg ->
+          P.handle node ~src msg;
+          !after_event_hook id)
+    else Bft_sim.Engine.set_handler engine id (P.handle node)
+  in
   let env_of id =
     {
       Env.id;
@@ -124,7 +144,14 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ()) ?trace
       send = (fun dst msg -> Bft_sim.Engine.send engine ~src:id ~dst msg);
       multicast = (fun msg -> Bft_sim.Engine.multicast engine ~src:id msg);
       set_timer =
-        (fun delay f -> Bft_sim.Engine.set_timer ~owner:id engine delay f);
+        (fun delay f ->
+          let f =
+            if logical then (fun () ->
+              f ();
+              !after_event_hook id)
+            else f
+          in
+          Bft_sim.Engine.set_timer ~owner:id engine delay f);
       leader_of;
       make_payload =
         (fun ~view ->
@@ -191,7 +218,7 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ()) ?trace
       (fun id ->
         let make ?(equivocate = false) env =
           let node = P.create ~equivocate ?wal:(wal_of id) env in
-          Bft_sim.Engine.set_handler engine id (P.handle node);
+          install id node;
           Some node
         in
         match behaviour_of id with
@@ -217,6 +244,79 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ()) ?trace
        (fun id ->
          if behaviour_of id <> None then Bft_obs.Liveness.set_exempt mon id)
        (List.init cfg.Config.n (fun i -> i));
+     let emit_fault ~time ~node fault =
+       match trace with
+       | Some sink ->
+           Bft_obs.Trace.emit sink
+             { Bft_obs.Trace.time; node; kind = Bft_obs.Trace.Fault fault }
+       | None -> ()
+     in
+     match lg with
+     | Some lg ->
+         (* View-anchored interpretation — the sim-side mirror of the live
+            transport's [fault_clock = Views].  Sends are gated on the
+            sender's current view (the engine's link filter runs at send
+            time), a crash lands between the victim's events once its own
+            view reaches the anchor, and a recovery fires when the
+            observer (node 0) passes the recovery anchor.  No wall-clock
+            machinery runs, so the committed chain is a pure function of
+            the protocol and the schedule — identical on simulator and
+            sockets ([crossval-chaos]). *)
+         let view_of id =
+           match node_refs.(id) with
+           | Some nd -> P.current_view nd
+           | None -> 0
+         in
+         Bft_sim.Engine.set_link_filter engine (fun ~src ~dst ~now:_ ->
+             not
+               (Bft_faults.Logical.cut lg ~src ~src_view:(view_of src) ~dst));
+         let crashed = Array.make cfg.Config.n false in
+         let recoveries = Bft_faults.Logical.recoveries lg in
+         let next_order = ref 0 in
+         let k_ms = Bft_obs.Liveness.bound mon in
+         let rec do_recover node =
+           let time = Bft_sim.Engine.now engine in
+           Log.debug (fun m ->
+               m "fault: logical recover node %d at %.0f" node time);
+           Bft_sim.Engine.recover engine node;
+           Bft_obs.Liveness.note_recover mon ~node ~time;
+           emit_fault ~time ~node Bft_obs.Trace.Recover;
+           let fresh = P.create ?wal:(wal_of node) (env_of node) in
+           install node fresh;
+           P.start fresh;
+           (* After the last recovery the network is disruption-free
+              modulo partition windows, whose view anchors pass within a
+              few view changes: enforce the liveness bound from here, as
+              the wall-clock path does from each heal time. *)
+           if !next_order = List.length recoveries then
+             Bft_sim.Engine.schedule_at engine (time +. k_ms) (fun () ->
+                 Bft_obs.Liveness.check mon ~since:time ~now:(time +. k_ms))
+         and after_event id =
+           (match Bft_faults.Logical.crash_anchor lg id with
+           | Some v when (not crashed.(id)) && view_of id >= v ->
+               let time = Bft_sim.Engine.now engine in
+               Log.debug (fun m ->
+                   m "fault: logical crash node %d at %.0f (view %d)" id
+                     time (view_of id));
+               crashed.(id) <- true;
+               Bft_sim.Engine.crash engine id;
+               Bft_obs.Liveness.note_crash mon ~node:id ~time;
+               emit_fault ~time ~node:id Bft_obs.Trace.Crash
+           | _ -> ());
+           if id = Bft_faults.Logical.observer lg then
+             let ov = view_of id in
+             let rec fire () =
+               match List.nth_opt recoveries !next_order with
+               | Some (v, node) when v <= ov ->
+                   incr next_order;
+                   do_recover node;
+                   fire ()
+               | _ -> ()
+             in
+             fire ()
+         in
+         after_event_hook := after_event
+     | None ->
      let overlay = Bft_faults.Overlay.compile ~n:cfg.Config.n faults in
      if Bft_faults.Overlay.has_link_effects overlay then begin
        (* Probabilistic loss draws come from a dedicated stream so the
@@ -230,13 +330,6 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ()) ?trace
        Bft_sim.Engine.set_link_delay engine (fun ~src:_ ~dst:_ ~now ->
            Bft_faults.Overlay.extra_delay overlay ~now)
      end;
-     let emit_fault ~time ~node fault =
-       match trace with
-       | Some sink ->
-           Bft_obs.Trace.emit sink
-             { Bft_obs.Trace.time; node; kind = Bft_obs.Trace.Fault fault }
-       | None -> ()
-     in
      let window_edges from_ until start_fault end_fault =
        if Option.is_some trace then begin
          Bft_sim.Engine.schedule_at engine from_ (fun () ->
@@ -277,64 +370,17 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ()) ?trace
              window_edges from_ until Bft_obs.Trace.Delay_start
                Bft_obs.Trace.Delay_end)
        faults;
-     (* One liveness checkpoint per disruption-free point: GST and every
-        heal/recovery.  A checkpoint whose [k * Delta] window contains a
-        later disruption (or an open partition/loss/delay window, or the
-        run's horizon) is superseded — the later point carries the bound. *)
+     (* One liveness checkpoint per surviving disruption-free point; the
+        supersession semantics live in {!FS.checkpoints}, shared with the
+        net-trace liveness replay. *)
      let k_ms = Bft_obs.Liveness.bound mon in
      let horizon = cfg.Config.duration_ms in
      let heals = FS.heal_times faults in
-     let checkpoints =
-       List.sort_uniq Float.compare (cfg.Config.gst_ms :: heals)
-     in
-     (* A crash is a disruption from the crash until the matching recovery
-        (or forever, if the node never comes back): a checkpoint whose
-        window overlaps a node's downtime measures the network mid-fault,
-        so the span supersedes it like any other disruption window. *)
-     let crash_spans =
-       List.filter_map
-         (function
-           | FS.Crash { node; at } ->
-               let recovery =
-                 List.filter_map
-                   (function
-                     | FS.Recover { node = n'; at = r } when n' = node && r > at
-                       ->
-                         Some r
-                     | _ -> None)
-                   faults
-               in
-               Some
-                 ( at,
-                   match recovery with
-                   | [] -> infinity
-                   | rs -> List.fold_left Float.min (List.hd rs) rs )
-           | _ -> None)
-         faults
-     in
-     let windows =
-       crash_spans
-       @ List.filter_map
-           (function
-             | FS.Partition { from_; until; _ }
-             | FS.Link_loss { from_; until; _ }
-             | FS.Delay_spike { from_; until; _ } ->
-                 Some (from_, until)
-             | FS.Crash _ | FS.Recover _ -> None)
-           faults
-     in
      List.iter
        (fun d ->
-         let deadline = d +. k_ms in
-         let superseded =
-           deadline > horizon
-           || List.exists (fun d' -> d' > d && d' <= deadline) checkpoints
-           || List.exists (fun (a, b) -> a < deadline && b > d) windows
-         in
-         if not superseded then
-           Bft_sim.Engine.schedule_at engine deadline (fun () ->
-               Bft_obs.Liveness.check mon ~since:d ~now:deadline))
-       checkpoints;
+         Bft_sim.Engine.schedule_at engine (d +. k_ms) (fun () ->
+             Bft_obs.Liveness.check mon ~since:d ~now:(d +. k_ms)))
+       (FS.checkpoints ~gst:cfg.Config.gst_ms ~horizon ~bound:k_ms faults);
      (* Healing traffic: messages sent inside the (merged) [heal,
         heal + k * Delta] windows, from the engine's own counters. *)
      let rec merge = function
@@ -365,6 +411,12 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ()) ?trace
   Log.debug (fun m -> m "starting run: %a" Config.pp cfg);
   let alloc0 = Gc.allocated_bytes () in
   List.iter P.start nodes;
+  (* A logical crash anchored at a view the node reaches during start-up
+     must land before any message is delivered. *)
+  if logical then
+    Array.iteri
+      (fun id -> function Some _ -> !after_event_hook id | None -> ())
+      node_refs;
   Bft_sim.Engine.run engine ~until:cfg.Config.duration_ms;
   let alloc = Gc.allocated_bytes () -. alloc0 in
   let stats = Bft_sim.Engine.stats engine in

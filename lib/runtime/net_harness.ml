@@ -73,6 +73,131 @@ let check (result : Bft_net.Tcp.result) ~target =
         in
         match disagrees with Some p -> Error p | None -> Ok ())
 
+let check_chaos (result : Bft_net.Tcp.result) ~target =
+  let open Bft_net.Tcp in
+  let fail fmt = Format.kasprintf (fun s -> Error s) fmt in
+  if not result.reached_target then
+    fail "cluster did not reach %d blocks within the timeout" target
+  else begin
+    (* A recovered node's commit log is not dense (pre-crash commits may
+       be lost with the incarnation, catch-up re-commits others), so the
+       chaos variant of {!check} asserts only what holds under crashes:
+       every node reached the target height, and no two nodes ever
+       committed different hashes at the same height. *)
+    let seen : (int, int * int64) Hashtbl.t = Hashtbl.create 64 in
+    let problem = ref None in
+    Array.iter
+      (fun nr ->
+        let top = List.fold_left (fun a c -> max a c.c_height) 0 nr.commits in
+        if top < target && !problem = None then
+          problem :=
+            Some
+              (Printf.sprintf "node %d topped out at height %d/%d" nr.id top
+                 target);
+        List.iter
+          (fun c ->
+            match Hashtbl.find_opt seen c.c_height with
+            | Some (id0, h0) when h0 <> c.c_hash ->
+                if !problem = None then
+                  problem :=
+                    Some
+                      (Printf.sprintf
+                         "nodes %d and %d disagree at height %d: %Lx vs %Lx"
+                         id0 nr.id c.c_height h0 c.c_hash)
+            | Some _ -> ()
+            | None -> Hashtbl.add seen c.c_height (nr.id, c.c_hash))
+          nr.commits)
+      result.nodes;
+    match !problem with Some p -> Error p | None -> Ok ()
+  end
+
+let net_liveness (result : Bft_net.Tcp.result) ~delta =
+  let open Bft_net.Tcp in
+  let n = Array.length result.nodes in
+  (* The monitor's GST is the last scheduled disruption as it actually
+     happened on the wall clock: everything after it is the window the
+     liveness bound speaks about. *)
+  let gst =
+    List.fold_left (fun a fe -> Float.max a fe.fe_time_ms) 0.
+      result.fault_events
+  in
+  let mon = Bft_obs.Liveness.create ~n ~delta ~gst () in
+  (* Replay in wall-time order; same-time ties resolve fault edges before
+     commits and quorum milestones after individual commits, matching the
+     order the simulator harness generates them in. *)
+  let events = ref [] in
+  let add t pri run = events := (t, pri, run) :: !events in
+  List.iter
+    (fun fe ->
+      match fe.fe_kind with
+      | Bft_obs.Trace.Crash ->
+          add fe.fe_time_ms 0 (fun () ->
+              Bft_obs.Liveness.note_crash mon ~node:fe.fe_node
+                ~time:fe.fe_time_ms)
+      | Bft_obs.Trace.Recover ->
+          add fe.fe_time_ms 0 (fun () ->
+              Bft_obs.Liveness.note_recover mon ~node:fe.fe_node
+                ~time:fe.fe_time_ms)
+      | _ -> ())
+    result.fault_events;
+  Array.iter
+    (fun nr ->
+      List.iter
+        (fun c ->
+          add c.c_time_ms 1 (fun () ->
+              Bft_obs.Liveness.note_commit mon ~node:nr.id ~time:c.c_time_ms
+                ~height:c.c_height))
+        nr.commits)
+    result.nodes;
+  (* Quorum commits: the time the [quorum]-th distinct node first commits
+     a given (height, hash). *)
+  let q = quorum ~n in
+  let firsts : (int * int64, (int, float) Hashtbl.t) Hashtbl.t =
+    Hashtbl.create 64
+  in
+  Array.iter
+    (fun nr ->
+      List.iter
+        (fun c ->
+          let key = (c.c_height, c.c_hash) in
+          let m =
+            match Hashtbl.find_opt firsts key with
+            | Some m -> m
+            | None ->
+                let m = Hashtbl.create 8 in
+                Hashtbl.add firsts key m;
+                m
+          in
+          match Hashtbl.find_opt m nr.id with
+          | Some t when t <= c.c_time_ms -> ()
+          | _ -> Hashtbl.replace m nr.id c.c_time_ms)
+        nr.commits)
+    result.nodes;
+  Hashtbl.iter
+    (fun (height, hash) m ->
+      let times =
+        Hashtbl.fold (fun _ t acc -> t :: acc) m []
+        |> List.sort Float.compare
+      in
+      if List.length times >= q then
+        let t = List.nth times (q - 1) in
+        add t 2 (fun () ->
+            Bft_obs.Liveness.note_quorum_commit mon ~time:t ~height
+              ~hash:(Int64.to_int hash)))
+    firsts;
+  List.iter
+    (fun (_, _, run) -> run ())
+    (List.sort
+       (fun (t1, p1, _) (t2, p2, _) ->
+         match Float.compare t1 t2 with 0 -> compare p1 p2 | c -> c)
+       !events);
+  (* Enforce the bound once, from the last disruption — provided the run
+     actually covered that window. *)
+  let bound = Bft_obs.Liveness.bound mon in
+  if result.wall_ms >= gst +. bound then
+    Bft_obs.Liveness.check mon ~since:gst ~now:(gst +. bound);
+  Bft_obs.Liveness.report mon
+
 type commit_id = { height : int; view : int; hash : int64 }
 
 type crossval = {
@@ -133,3 +258,103 @@ let cross_validate ?(n = 4) ?(payload_bytes = 0) ~protocol ~blocks () =
       (Printf.sprintf "crossval: TCP cluster committed only %d/%d blocks"
          (List.length net_commits) blocks);
   { sim_commits; net_commits; agree = sim_commits = net_commits }
+
+type chaos_crossval = {
+  schedule : Bft_faults.Fault_schedule.t;
+  blocks : int;
+  sim_chain : commit_id list;
+  thread_chain : commit_id list;
+  process_chain : commit_id list;
+  agree : bool;
+  thread_liveness : Bft_obs.Liveness.report;
+  process_liveness : Bft_obs.Liveness.report;
+}
+
+let cross_validate_chaos ?(n = 4) ?(seed = 7) ~protocol () =
+  let rng = Bft_sim.Rng.create seed in
+  let schedule = Bft_faults.Logical.random ~rng ~n in
+  let lg = Bft_faults.Logical.of_schedule_exn ~n schedule in
+  (* Run well past the last anchor so the recovered node's catch-up and
+     the healed partition both sit inside the compared prefix. *)
+  let blocks = Bft_faults.Logical.last_anchor lg + 8 in
+  let take k l = List.filteri (fun i _ -> i < k) l in
+  (* Simulator, view-clock interpretation. *)
+  let sim_cfg =
+    {
+      (Config.local protocol ~n) with
+      Config.faults = schedule;
+      logical_faults = true;
+      duration_ms = 10_000. +. (float_of_int blocks *. 300.);
+    }
+  in
+  let sim_acc = ref [] in
+  let (_ : Harness.run_result) =
+    Harness.run
+      ~on_commit:(fun ~node b ->
+        if node = 0 then
+          sim_acc :=
+            {
+              height = b.Bft_types.Block.height;
+              view = b.Bft_types.Block.view;
+              hash = Bft_types.Hash.to_int64 b.Bft_types.Block.hash;
+            }
+            :: !sim_acc)
+      sim_cfg
+  in
+  let sim_chain = take blocks (List.rev !sim_acc) in
+  if List.length sim_chain < blocks then
+    failwith
+      (Printf.sprintf "crossval-chaos: simulator committed only %d/%d blocks"
+         (List.length sim_chain) blocks);
+  (* Sockets, same schedule on the same clock, in both execution modes.
+     The link delay keeps view duration well above restart-and-redial
+     time so a recovering incarnation never misses its leader slot. *)
+  let net_run mode =
+    let cfg =
+      {
+        (config protocol ~n ~blocks) with
+        Bft_net.Tcp.mode;
+        (* Views with a dead or partitioned leader stall for delta; keep
+           it well above a paced view (~3 hops) but far below the 1 s
+           fault-free default so stalls stay cheap. *)
+        delta_ms = 500.;
+        faults = schedule;
+        fault_clock = Bft_net.Fault_plane.Views;
+        fault_seed = seed;
+        link_delay_ms = 20.;
+      }
+    in
+    let result = run protocol cfg in
+    (match check_chaos result ~target:blocks with
+    | Ok () -> ()
+    | Error e ->
+        failwith (Printf.sprintf "crossval-chaos (%s): %s"
+            (match mode with
+            | Bft_net.Tcp.Threads -> "threads"
+            | Bft_net.Tcp.Processes -> "processes")
+            e));
+    let chain =
+      take blocks
+        (List.map
+           (fun c ->
+             {
+               height = c.Bft_net.Tcp.c_height;
+               view = c.Bft_net.Tcp.c_view;
+               hash = c.Bft_net.Tcp.c_hash;
+             })
+           result.Bft_net.Tcp.nodes.(0).Bft_net.Tcp.commits)
+    in
+    (chain, net_liveness result ~delta:cfg.Bft_net.Tcp.delta_ms)
+  in
+  let thread_chain, thread_liveness = net_run Bft_net.Tcp.Threads in
+  let process_chain, process_liveness = net_run Bft_net.Tcp.Processes in
+  {
+    schedule;
+    blocks;
+    sim_chain;
+    thread_chain;
+    process_chain;
+    agree = sim_chain = thread_chain && sim_chain = process_chain;
+    thread_liveness;
+    process_liveness;
+  }

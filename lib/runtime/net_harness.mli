@@ -30,6 +30,26 @@ val run : Protocol_kind.t -> Bft_net.Tcp.config -> Bft_net.Tcp.result
     failure. *)
 val check : Bft_net.Tcp.result -> target:int -> (unit, string) result
 
+(** {!check} for runs with crashes: a recovered node's commit log is not
+    dense (pre-crash commits die with the incarnation in process mode,
+    catch-up re-commits heights), so this asserts only the crash-tolerant
+    invariants — the run reached its target, every node's top committed
+    height is at least [target], and no two nodes committed different
+    hashes at the same height. *)
+val check_chaos : Bft_net.Tcp.result -> target:int -> (unit, string) result
+
+(** Post-hoc liveness audit of a socket run: replays the run's fault
+    events, per-node commits and derived quorum commits into a
+    {!Bft_obs.Liveness} monitor in wall-time order, with the monitor's
+    GST set to the last disruption.  If the run lasted past
+    [gst + bound], enforces one {!Bft_obs.Liveness.check} over that
+    window (raising [Violation] when commits stalled).  The returned
+    {!Bft_obs.Liveness.report}'s [max_quorum_gap_ms] is the bounded
+    commit-gap acceptance metric; [recoveries] carries per-crash
+    time-to-catch-up. *)
+val net_liveness :
+  Bft_net.Tcp.result -> delta:float -> Bft_obs.Liveness.report
+
 (** One commit as compared across substrates. *)
 type commit_id = { height : int; view : int; hash : int64 }
 
@@ -47,3 +67,28 @@ type crossval = {
 val cross_validate :
   ?n:int -> ?payload_bytes:int -> protocol:Protocol_kind.t -> blocks:int ->
   unit -> crossval
+
+type chaos_crossval = {
+  schedule : Bft_faults.Fault_schedule.t;
+      (** The drawn logical schedule (times are view numbers). *)
+  blocks : int;  (** Compared prefix length: past the last anchor. *)
+  sim_chain : commit_id list;  (** Node 0, simulator, view clock. *)
+  thread_chain : commit_id list;  (** Node 0, TCP threads mode. *)
+  process_chain : commit_id list;  (** Node 0, TCP process mode. *)
+  agree : bool;  (** All three chains are identical. *)
+  thread_liveness : Bft_obs.Liveness.report;
+  process_liveness : Bft_obs.Liveness.report;
+}
+
+(** The chaos equivalence check: draw a random logical fault schedule
+    ({!Bft_faults.Logical.random} — one crash/recover cycle plus one
+    partition window, seeded by [seed]) and run it on three substrates —
+    the simulator under [logical_faults], and the TCP cluster under
+    [fault_clock = Views] in both threads and process mode (the latter
+    with a real [SIGKILL] and a WAL-file rebuild).  Because every fault
+    is anchored to protocol views, all three runs must commit the same
+    (height, view, hash) chain; {!check_chaos} and {!net_liveness} run
+    on both socket results along the way.  Raises [Failure] when a
+    substrate fails to commit the prefix at all. *)
+val cross_validate_chaos :
+  ?n:int -> ?seed:int -> protocol:Protocol_kind.t -> unit -> chaos_crossval

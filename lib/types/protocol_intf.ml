@@ -54,6 +54,18 @@ module type S = sig
   (** A fresh, empty WAL. *)
   val wal_create : unit -> wal
 
+  (** Snapshot of a WAL's latest record as bytes — the durable form the
+      live transport persists to a file after every handler run, so a
+      killed validator process can be re-spawned and rebuilt from disk.
+      Not a wire frame: the blob is only ever read back by the node that
+      wrote it. *)
+  val wal_encode : wal -> string
+
+  (** Total inverse of {!wal_encode}; [Error] on a torn or corrupt
+      snapshot (the caller falls back to an empty WAL or refuses to
+      restart, never crashes). *)
+  val wal_decode : string -> (wal, string) result
+
   (** [create env] builds a node.  [equivocate] (default false) makes the
       node a Byzantine proposer that sends conflicting blocks to different
       halves of the network whenever it leads a view — used by safety tests;

@@ -388,6 +388,132 @@ let malformed_injection () =
   in
   Alcotest.(check bool) "garbage frames counted" true (errors >= 1)
 
+(* --- hello handshake rejection --------------------------------------------- *)
+
+let hello_frame ?(version = 0x01) ~sender ~n ~protocol () =
+  let w = Wire.W.create () in
+  Wire.W.u8 w version;
+  Wire.W.u8 w 0x00;
+  Wire.W.uvar w sender;
+  Wire.W.uvar w n;
+  Wire.W.bytes w protocol;
+  Wire.frame (Wire.W.contents w)
+
+(* A validator that rejects a hello closes the connection without writing
+   anything: from the rogue client's side that is a clean EOF (or a reset
+   if our write raced the close). *)
+let expect_closed what fd =
+  Unix.setsockopt_float fd Unix.SO_RCVTIMEO 5.;
+  let buf = Bytes.create 1 in
+  (match Unix.read fd buf 0 1 with
+  | 0 -> ()
+  | _ -> Alcotest.failf "%s: validator sent data on a rejected conn" what
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> ()
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+      Alcotest.failf "%s: connection not closed" what);
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let hello_rejects () =
+  let kind = Protocol_kind.Commit_moonshot in
+  let proto = Protocol_kind.name kind in
+  let base_port = 28461 in
+  let cfg =
+    {
+      (Net_harness.config kind ~n:4 ~blocks:10) with
+      Tcp.base_port = Some base_port;
+    }
+  in
+  let inject () =
+    let rec connect tries =
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      try
+        Unix.connect fd
+          (Unix.ADDR_INET (Unix.inet_addr_loopback, base_port));
+        fd
+      with Unix.Unix_error _ when tries > 0 ->
+        (try Unix.close fd with Unix.Unix_error _ -> ());
+        Thread.delay 0.005;
+        connect (tries - 1)
+    in
+    let try_hello what frame =
+      let fd = connect 400 in
+      (try Wire.write_all fd frame with Unix.Unix_error _ -> ());
+      expect_closed what fd
+    in
+    try_hello "wrong protocol"
+      (hello_frame ~sender:2 ~n:4 ~protocol:"bogus-protocol" ());
+    try_hello "wrong cluster size" (hello_frame ~sender:2 ~n:5 ~protocol:proto ());
+    try_hello "sender out of range"
+      (hello_frame ~sender:9 ~n:4 ~protocol:proto ());
+    (* Node 0's own id claimed by a peer: self-loops never dial out, so
+       an inbound hello naming the listener itself is an impostor. *)
+    try_hello "sender is self" (hello_frame ~sender:0 ~n:4 ~protocol:proto ());
+    try_hello "stale version"
+      (hello_frame ~version:0x02 ~sender:2 ~n:4 ~protocol:proto ())
+  in
+  let injector = Thread.create inject () in
+  let r = Net_harness.run kind cfg in
+  Thread.join injector;
+  match Net_harness.check r ~target:10 with
+  | Ok () -> ()
+  | Error reason -> Alcotest.fail reason
+
+(* --- chaos: fault injection on live sockets -------------------------------- *)
+
+(* One wall-clock crash/recover cycle while the cluster runs.  The dead
+   incarnation's sockets must go down (peers see drops, then reconnect),
+   the supervisor must rebuild the node from its WAL snapshot, and the
+   cluster must still reach the target with per-height agreement. *)
+let wall_chaos_result mode =
+  let kind = Protocol_kind.Commit_moonshot in
+  let faults =
+    match Bft_faults.Fault_schedule.of_string "crash@150:2;recover@700:2" with
+    | Ok f -> f
+    | Error e -> Alcotest.fail e
+  in
+  let cfg =
+    {
+      (Net_harness.config kind ~n:4 ~blocks:40) with
+      Tcp.mode;
+      delta_ms = 300.;
+      link_delay_ms = 8.;
+      faults;
+    }
+  in
+  Net_harness.run kind cfg
+
+let assert_recovered (r : Tcp.result) ~node =
+  (match Net_harness.check_chaos r ~target:40 with
+  | Ok () -> ()
+  | Error reason -> Alcotest.fail reason);
+  Alcotest.(check bool) "completed cooperatively" true (r.Tcp.outcome = Tcp.Completed);
+  Alcotest.(check bool)
+    "victim restarted" true
+    (r.Tcp.nodes.(node).Tcp.restarts >= 1);
+  let kinds = List.map (fun fe -> fe.Tcp.fe_kind) r.Tcp.fault_events in
+  Alcotest.(check bool) "crash recorded" true
+    (List.mem Bft_obs.Trace.Crash kinds);
+  Alcotest.(check bool) "recover recorded" true
+    (List.mem Bft_obs.Trace.Recover kinds);
+  let report = Net_harness.net_liveness r ~delta:300. in
+  (match report.Bft_obs.Liveness.recoveries with
+  | [ rec_ ] ->
+      Alcotest.(check int) "recovered node" node rec_.Bft_obs.Liveness.node;
+      Alcotest.(check bool) "caught up" true
+        (rec_.Bft_obs.Liveness.caught_up_at_ms <> None)
+  | rs -> Alcotest.failf "expected 1 recovery in report, got %d" (List.length rs));
+  Alcotest.(check bool) "bounded post-disruption commit gap" true
+    (report.Bft_obs.Liveness.max_quorum_gap_ms
+    <= report.Bft_obs.Liveness.bound_ms)
+
+let threads_crash_recover () =
+  assert_recovered (wall_chaos_result Tcp.Threads) ~node:2
+
+(* Process mode: the victim really dies ([SIGKILL]) and is re-forked; its
+   new incarnation rebuilds from the WAL file and catches up via sync. *)
+let process_crash_recover () =
+  assert_recovered (wall_chaos_result Tcp.Processes) ~node:2
+
 (* --- substrate cross-validation -------------------------------------------- *)
 
 let crossval_case kind =
@@ -412,6 +538,27 @@ let crossval_with_payload () =
       ~protocol:Protocol_kind.Commit_moonshot ~blocks:5 ()
   in
   Alcotest.(check bool) "payload run agrees" true cv.Net_harness.agree
+
+(* The chaos equivalence bar: a seeded random logical schedule (one
+   crash/recover plus one partition window) must yield the identical
+   committed (height, view, hash) chain on the simulator and on real
+   sockets in both execution modes. *)
+let crossval_chaos_case kind =
+  Alcotest.test_case (Protocol_kind.name kind) `Quick (fun () ->
+      let cv = Net_harness.cross_validate_chaos ~protocol:kind () in
+      if not cv.Net_harness.agree then
+        Alcotest.failf "chaos chains disagree under [%s] (%d blocks)"
+          (Bft_faults.Fault_schedule.to_string cv.Net_harness.schedule)
+          cv.Net_harness.blocks;
+      List.iter
+        (fun (rep : Bft_obs.Liveness.report) ->
+          match rep.Bft_obs.Liveness.recoveries with
+          | [ rec_ ] ->
+              Alcotest.(check bool) "caught up after recovery" true
+                (rec_.Bft_obs.Liveness.caught_up_at_ms <> None)
+          | rs ->
+              Alcotest.failf "expected 1 recovery, got %d" (List.length rs))
+        [ cv.Net_harness.thread_liveness; cv.Net_harness.process_liveness ])
 
 let () =
   let q = List.map QCheck_alcotest.to_alcotest in
@@ -446,8 +593,17 @@ let () =
             Alcotest.test_case "process mode" `Quick process_mode;
             Alcotest.test_case "traced run" `Quick traced_cluster;
             Alcotest.test_case "malformed injection" `Quick malformed_injection;
+            Alcotest.test_case "hello rejects" `Quick hello_rejects;
           ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "threads crash/recover" `Quick
+            threads_crash_recover;
+          Alcotest.test_case "process crash/recover" `Quick
+            process_crash_recover;
+        ] );
       ( "crossval",
         List.map crossval_case Protocol_kind.all
         @ [ Alcotest.test_case "with payload" `Quick crossval_with_payload ] );
+      ( "crossval-chaos", List.map crossval_chaos_case Protocol_kind.all );
     ]
