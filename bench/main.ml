@@ -29,7 +29,7 @@
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|table2|table3|fig6|fig7|fig8|fig9|fairness|chaos|ablations|micro|mc|mc-smoke|smoke|bench-smoke|n1000|all] \
+     [table1|table2|table3|fig6|fig7|fig8|fig9|fairness|chaos|clients|ablations|micro|mc|mc-smoke|smoke|bench-smoke|n1000|all] \
      [--full] [--jobs N] [--baseline PATH]";
   exit 1
 
@@ -101,6 +101,7 @@ let () =
         | "fig9" -> Experiments.fig9 scale
         | "fairness" -> Experiments.fairness scale
         | "chaos" -> Experiments.chaos scale
+        | "clients" -> Experiments.clients scale
         | "ablations" ->
             Experiments.ablation_bandwidth scale;
             Experiments.ablation_block_period scale;
@@ -123,7 +124,11 @@ let () =
             Experiments.fig9 scale;
             (* Sub-second chaos smoke: a randomized fault schedule through
                the real harness, fault interpreter and liveness monitor. *)
-            Experiments.chaos scale
+            Experiments.chaos scale;
+            (* Client-traffic smoke: the full ingestion path (arrival
+               generator, mempool, batch cuts, commit-order replay) under
+               sub- and over-saturation load on a tiny grid. *)
+            Experiments.clients scale
         | other ->
             Format.printf "unknown experiment %S@." other;
             usage ())
@@ -133,7 +138,7 @@ let () =
       (function
         | "all" ->
             [ "table1"; "table2"; "table3"; "fig6"; "fig7"; "fig8"; "fig9";
-              "fairness"; "chaos"; "ablations"; "micro" ]
+              "fairness"; "chaos"; "clients"; "ablations"; "micro" ]
         | t -> [ t ])
       targets
   in

@@ -96,6 +96,91 @@ let verbose =
     value & flag
     & info [ "v"; "verbose" ] ~doc:"Log per-run details to stderr.")
 
+(* Client-traffic spec shared by [run] and [run-net]: [--clients N] turns
+   the mode on, the rest refine the default spec. *)
+let clients_spec =
+  let clients =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "clients" ] ~docv:"N"
+          ~doc:
+            "Enable client-traffic mode: N open-loop clients submit \
+             commands into a sharded mempool and leaders cut blocks from \
+             lane batches instead of the parametric $(b,--payload).  The \
+             run then reports client-perceived end-to-end latency \
+             (submit to quorum commit) and backpressure counters.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 5000.
+      & info [ "client-rate" ] ~docv:"PER_S"
+          ~doc:
+            "Aggregate client submission rate, commands per second (used \
+             by the $(b,wall) ingest clock).")
+  in
+  let lanes =
+    Arg.(
+      value & opt int 8
+      & info [ "lanes" ] ~docv:"K" ~doc:"Number of independent mempool lanes.")
+  in
+  let lane_cap =
+    Arg.(
+      value & opt int 4096
+      & info [ "lane-capacity" ] ~docv:"C"
+          ~doc:"Commands a lane holds before overflow spills to its backlog.")
+  in
+  let max_batch =
+    Arg.(
+      value & opt int 512
+      & info [ "max-batch" ] ~docv:"B"
+          ~doc:"Commands a single block may draw from the mempool.")
+  in
+  let per_view =
+    Arg.(
+      value & opt int 64
+      & info [ "per-view" ] ~docv:"C"
+          ~doc:
+            "Arrivals per view under the $(b,views) ingest clock (ignored \
+             by $(b,wall)).")
+  in
+  let clock =
+    Arg.(
+      value
+      & opt
+          (Arg.enum
+             [
+               ("wall", Bft_mempool.Spec.Wall); ("views", Bft_mempool.Spec.Views);
+             ])
+          Bft_mempool.Spec.Wall
+      & info [ "ingest-clock" ] ~docv:"CLOCK"
+          ~doc:
+            "How arrival watermarks are read: $(b,wall) paces arrivals on \
+             the substrate clock at $(b,--client-rate) (the latency \
+             benchmarking mode); $(b,views) admits $(b,--per-view) \
+             commands per view number, making the cut a pure function of \
+             the view so simulator and socket runs commit identical \
+             chains (the cross-validation mode).")
+  in
+  let make clients rate lanes lane_cap max_batch per_view clock =
+    Option.map
+      (fun n ->
+        {
+          Bft_mempool.Spec.default with
+          Bft_mempool.Spec.clients = n;
+          rate_per_s = rate;
+          lanes;
+          lane_capacity = lane_cap;
+          max_batch;
+          per_view;
+          clock;
+        })
+      clients
+  in
+  Term.(
+    const make $ clients $ rate $ lanes $ lane_cap $ max_batch $ per_view
+    $ clock)
+
 let setup_logs verbose =
   if verbose then begin
     Logs.set_reporter (Logs.format_reporter ());
@@ -104,7 +189,7 @@ let setup_logs verbose =
 
 let run_cmd =
   let run verbose protocol n payload duration delta faults schedule seed gst
-      uniform_latency =
+      uniform_latency clients =
     setup_logs verbose;
     let latency, bandwidth =
       match uniform_latency with
@@ -124,6 +209,7 @@ let run_cmd =
         pre_gst_extra_ms = (if gst > 0. then 4. *. delta else 0.);
         latency;
         bandwidth_bps = bandwidth;
+        clients;
       }
     in
     let r = Harness.run cfg in
@@ -140,6 +226,23 @@ let run_cmd =
       (m.Metrics.transfer_rate_bps /. 1e6);
     Format.printf "messages        : %d (%.1f MB)@." r.Harness.messages_sent
       (float_of_int r.Harness.bytes_sent /. 1e6);
+    (* The half-period queueing model of lib/app/client: needs two
+       committed blocks, so very short runs report n/a, not a crash. *)
+    (let timeline =
+       List.map
+         (fun rec_ ->
+           (rec_.Metrics.created_ms, rec_.Metrics.quorum_commit_ms))
+         m.Metrics.records
+     in
+     match Bft_app.Client.analyze timeline with
+     | stats -> Format.printf "client model    : %a@." Bft_app.Client.pp stats
+     | exception Invalid_argument _ ->
+         Format.printf
+           "client model    : n/a (fewer than two committed blocks)@.");
+    (match r.Harness.client_summary with
+    | None -> ()
+    | Some s ->
+        Format.printf "client traffic  :@.%a@." Bft_mempool.Ingest.pp_summary s);
     Format.printf "safety          : OK@."
   in
   let delta =
@@ -150,7 +253,8 @@ let run_cmd =
   let term =
     Term.(
       const run $ verbose $ protocol $ nodes ~default:10 $ payload $ duration
-      $ delta $ faults $ schedule $ seed $ gst $ uniform_latency)
+      $ delta $ faults $ schedule $ seed $ gst $ uniform_latency
+      $ clients_spec)
   in
   let man =
     [
@@ -169,7 +273,9 @@ let run_cmd =
         \  # Jolteon under the worst-case leader schedule with 13 failures\n\
         \  moonshot run -p J --schedule WJ --faults 13 -n 40\n\n\
         \  # A fast local ablation with uniform 10 ms links\n\
-        \  moonshot run -p PM -n 10 --uniform-latency 10,5 --duration 5";
+        \  moonshot run -p PM -n 10 --uniform-latency 10,5 --duration 5\n\n\
+        \  # A million clients at 20k commands/s through the mempool\n\
+        \  moonshot run -p CM -n 10 --clients 1000000 --client-rate 20000";
     ]
   in
   Cmd.v
@@ -301,7 +407,7 @@ let run_net_cmd =
              recovery).  Default: a fresh temporary directory.")
   in
   let run verbose protocol n blocks payload delta mode port trace_file timeout
-      check faults fault_clock fault_seed link_delay wal_dir =
+      check faults fault_clock fault_seed link_delay wal_dir clients =
     setup_logs verbose;
     let module FS = Bft_faults.Fault_schedule in
     let faulted = not (FS.is_empty faults) in
@@ -319,6 +425,7 @@ let run_net_cmd =
         fault_seed;
         link_delay_ms = link_delay;
         wal_dir;
+        clients;
       }
     in
     let r = Net_harness.run protocol cfg in
@@ -408,6 +515,11 @@ let run_net_cmd =
          (List.fold_left ( +. ) 0. lat /. float_of_int (List.length lat))
          (Bft_stats.Descriptive.percentile 50. lat)
          (List.length lat));
+    (match clients with
+    | None -> ()
+    | Some spec ->
+        let s = Net_harness.client_stats r ~spec ~view_ms:delta in
+        Format.printf "client traffic  :@.%a@." Bft_mempool.Ingest.pp_summary s);
     (match trace_file with
     | None -> ()
     | Some path ->
@@ -441,7 +553,7 @@ let run_net_cmd =
     Term.(
       const run $ verbose $ protocol $ nodes ~default:4 $ blocks $ payload
       $ delta $ mode $ port $ trace_file $ timeout $ check $ faults
-      $ fault_clock $ fault_seed $ link_delay $ wal_dir)
+      $ fault_clock $ fault_seed $ link_delay $ wal_dir $ clients_spec)
   in
   let man =
     [
@@ -616,6 +728,68 @@ let crossval_chaos_cmd =
        ~doc:"Cross-validate chaotic runs across all substrates" ~man)
     term
 
+let crossval_clients_cmd =
+  let blocks =
+    Arg.(
+      value & opt int 10
+      & info [ "blocks" ] ~docv:"K" ~doc:"Number of commits to compare.")
+  in
+  let run verbose protocol n blocks =
+    setup_logs verbose;
+    let cv = Net_harness.cross_validate_clients ~n ~protocol ~blocks () in
+    Format.printf "protocol : %a (n=%d, %d blocks)@." Protocol_kind.pp protocol
+      n blocks;
+    Format.printf "spec     : %a@." Bft_mempool.Spec.pp
+      cv.Net_harness.cc_spec;
+    Format.printf "sim      :@.%a@." Bft_mempool.Ingest.pp_summary
+      cv.Net_harness.cc_sim_summary;
+    Format.printf "net      :@.%a@." Bft_mempool.Ingest.pp_summary
+      cv.Net_harness.cc_net_summary;
+    if cv.Net_harness.cc_agree then
+      Format.printf
+        "crossval : OK — both substrates committed the same %d batches@."
+        blocks
+    else begin
+      List.iter2
+        (fun (s : Net_harness.commit_id) (t : Net_harness.commit_id) ->
+          Format.printf
+            "height %2d: sim view %d hash %016Lx | net view %d hash %016Lx \
+             %s@."
+            s.Net_harness.height s.view s.hash t.view t.hash
+            (if s = t then "" else "<- MISMATCH"))
+        cv.Net_harness.cc_sim_chain cv.Net_harness.cc_net_chain;
+      Format.printf "crossval : FAILED — committed chains differ@.";
+      exit 1
+    end
+  in
+  let term =
+    Term.(const run $ verbose $ protocol $ nodes ~default:4 $ blocks)
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Feeds the same seeded client stream through the mempool on both \
+         execution substrates — the discrete-event simulator and a \
+         localhost TCP cluster — under the $(b,views) ingest clock, and \
+         asserts both commit the identical (height, view, hash) chain.  \
+         Because blocks carry only batch references (cursor, watermark, \
+         count) and contents are derived by commit-order replay, chain \
+         agreement means every command landed in the same block on both \
+         substrates.";
+      `S Manpage.s_examples;
+      `Pre
+        "  # Default: commit-moonshot, 4 nodes, first 10 batches\n\
+        \  moonshot crossval-clients\n\n\
+        \  # All five protocols\n\
+        \  for p in SM PM CM J HS; do moonshot crossval-clients -p $p; done";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "crossval-clients"
+       ~doc:"Cross-validate client-traffic runs across substrates" ~man)
+    term
+
 let table1_cmd =
   let man =
     [
@@ -679,6 +853,7 @@ let () =
             run_net_cmd;
             crossval_cmd;
             crossval_chaos_cmd;
+            crossval_clients_cmd;
             table1_cmd;
             table2_cmd;
           ]))

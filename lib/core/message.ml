@@ -83,6 +83,20 @@ let cpu_cost =
           acc +. hash_payload b.Block.payload.Payload.size_bytes +. cache_check_ms)
         0. blocks
 
+(* Payload bytes carried in-band: the block body of a proposal or sync
+   response.  Votes embed a block in memory but only its header travels
+   (Wire_size.vote), so they carry none. *)
+let payload_bytes = function
+  | Opt_propose { block } | Propose { block; _ } | Fb_propose { block; _ } ->
+      block.Block.payload.Payload.size_bytes
+  | Vote _ | Timeout _ | Cert_gossip _ | Tc_gossip _ | Status _ | Commit_vote _
+  | Block_request _ ->
+      0
+  | Blocks_response { blocks } ->
+      List.fold_left
+        (fun acc (b : Block.t) -> acc + b.Block.payload.Payload.size_bytes)
+        0 blocks
+
 let classify = function
   | Opt_propose _ | Propose _ | Fb_propose _ -> `Proposal
   | Vote _ | Commit_vote _ -> `Vote

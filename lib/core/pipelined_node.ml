@@ -565,6 +565,7 @@ module Protocol = struct
 
   let msg_size = Message.size
   let cpu_cost = Message.cpu_cost
+  let payload_bytes = Message.payload_bytes
   let classify = Message.classify
   let view_of = Message.view_of
 
@@ -587,6 +588,7 @@ module Commit_protocol = struct
 
   let msg_size = Message.size
   let cpu_cost = Message.cpu_cost
+  let payload_bytes = Message.payload_bytes
   let classify = Message.classify
   let view_of = Message.view_of
 
@@ -609,6 +611,7 @@ module Lso_protocol = struct
 
   let msg_size = Message.size
   let cpu_cost = Message.cpu_cost
+  let payload_bytes = Message.payload_bytes
   let classify = Message.classify
   let view_of = Message.view_of
 

@@ -2,10 +2,10 @@ open Bft_types
 
 let honest_block env ~view ~parent =
   Block.create ~parent ~view ~proposer:env.Env.id
-    ~payload:(env.Env.make_payload ~view)
+    ~payload:(env.Env.make_payload ~view ~parent)
 
 let conflicting_block env ~view ~parent =
-  let honest = env.Env.make_payload ~view in
+  let honest = env.Env.make_payload ~view ~parent in
   let payload = Payload.make ~id:(-view) ~size_bytes:honest.Payload.size_bytes in
   Block.create ~parent ~view ~proposer:env.Env.id ~payload
 

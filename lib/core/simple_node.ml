@@ -420,6 +420,7 @@ module Protocol = struct
 
   let msg_size = Message.size
   let cpu_cost = Message.cpu_cost
+  let payload_bytes = Message.payload_bytes
   let classify = Message.classify
   let view_of = Message.view_of
   let encode_msg = Codec.encode_msg

@@ -14,6 +14,7 @@ module Protocol = struct
 
   let msg_size = Jolteon.Jolteon_msg.size
   let cpu_cost = Jolteon.Jolteon_msg.cpu_cost
+  let payload_bytes = Jolteon.Jolteon_msg.payload_bytes
   let classify = Jolteon.Jolteon_msg.classify
   let view_of = Jolteon.Jolteon_msg.view_of
   let encode_msg = Jolteon.Jolteon_codec.encode_msg

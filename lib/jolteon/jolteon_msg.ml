@@ -49,6 +49,15 @@ let cpu_cost =
           acc +. hash_payload b.Block.payload.Payload.size_bytes +. cache_check_ms)
         0. blocks
 
+(* Payload bytes carried in-band; votes ship only the block header. *)
+let payload_bytes = function
+  | Propose { block; _ } -> block.Block.payload.Payload.size_bytes
+  | Vote _ | Timeout _ | Block_request _ -> 0
+  | Blocks_response { blocks } ->
+      List.fold_left
+        (fun acc (b : Block.t) -> acc + b.Block.payload.Payload.size_bytes)
+        0 blocks
+
 let classify = function
   | Propose _ -> `Proposal
   | Vote _ -> `Vote

@@ -35,6 +35,11 @@ val cpu_cost : t -> float
 (** Coarse class for Byzantine behaviours and trace statistics. *)
 val classify : t -> [ `Proposal | `Vote | `Timeout | `Other ]
 
+(** Payload bytes carried in-band (proposal block bodies, sync responses);
+    0 for header-only traffic.  See
+    {!Bft_types.Protocol_intf.S.payload_bytes}. *)
+val payload_bytes : t -> int
+
 (** The round a message belongs to ([None] for synchronizer traffic); used
     for per-view message/byte accounting in traces. *)
 val view_of : t -> int option

@@ -89,10 +89,10 @@ let store t = Node_core.store t.core
 
 let honest_block t ~round ~parent =
   Block.create ~parent ~view:round ~proposer:t.env.Env.id
-    ~payload:(t.env.Env.make_payload ~view:round)
+    ~payload:(t.env.Env.make_payload ~view:round ~parent)
 
 let conflicting_block t ~round ~parent =
-  let honest = t.env.Env.make_payload ~view:round in
+  let honest = t.env.Env.make_payload ~view:round ~parent in
   let payload = Payload.make ~id:(-round) ~size_bytes:honest.Payload.size_bytes in
   Block.create ~parent ~view:round ~proposer:t.env.Env.id ~payload
 
@@ -397,6 +397,7 @@ module Protocol = struct
 
   let msg_size = Jolteon_msg.size
   let cpu_cost = Jolteon_msg.cpu_cost
+  let payload_bytes = Jolteon_msg.payload_bytes
   let classify = Jolteon_msg.classify
   let view_of = Jolteon_msg.view_of
   let encode_msg = Jolteon_codec.encode_msg

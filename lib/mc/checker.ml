@@ -161,7 +161,7 @@ module Make (P : Protocol_intf.S) = struct
       set_timer = (fun delay f -> Engine.set_timer ~owner:id w.engine delay f);
       leader_of = (fun view -> ((view - 1) mod n + n) mod n);
       make_payload =
-        (fun ~view -> Payload.make ~id:view ~size_bytes:w.cfg.payload_bytes);
+        (fun ~view ~parent:_ -> Payload.make ~id:view ~size_bytes:w.cfg.payload_bytes);
       on_commit =
         (fun b ->
           w.commits_total <- w.commits_total + 1;

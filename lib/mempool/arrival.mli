@@ -1,0 +1,40 @@
+(** Allocation-free open-loop client arrival generator.
+
+    A deterministic stream of command submissions: arrival [s] (its global
+    sequence number) is issued by client [client_of s] at time [next_time] —
+    Poisson interarrivals at the spec's aggregate rate under the [Wall]
+    clock, or a fixed [per_view] quota anchored to view numbers under
+    [Views].  The stream is a pure function of the spec's seed, so two
+    instances built from the same spec produce identical streams: one serves
+    leaders as the watermark observer, the other serves the commit-order
+    replayer, and the live TCP cluster rebuilds the very same stream on
+    every validator.
+
+    Open loop: clients never wait for commits before submitting, which is
+    what makes sustained-saturation sweeps meaningful.  The generator keeps
+    three scalars of state and draws from a native-int mixer — advancing it
+    through millions of arrivals allocates nothing. *)
+
+type t
+
+val create : Spec.t -> t
+
+(** Sequence number of the next (not yet issued) arrival = number issued so
+    far. *)
+val seq : t -> int
+
+(** Issuer of arrival [s]; pure (independent of cursor position). *)
+val client_of : t -> int -> int
+
+val next_client : t -> int
+
+(** Arrival time of the next arrival: milliseconds ([Wall]) or the view slot
+    in which it becomes visible ([Views]). *)
+val next_time : t -> float
+
+val advance : t -> unit
+
+(** [count_until t ~now] advances past every arrival with time ≤ [now] and
+    returns the resulting {!seq} — the leader-side watermark.  [now] must be
+    monotone across calls. *)
+val count_until : t -> now:float -> int

@@ -1,0 +1,25 @@
+(** Fixed-memory log-bucketed latency histogram.
+
+    400 geometric buckets (7% relative width) from 0.05 ms upward; recording
+    a sample touches one array cell and three scalar fields, so tracking the
+    end-to-end latency of millions of client commands allocates nothing.
+    Quantiles report a bucket's upper bound (≤ 7% relative error), capped by
+    the exact observed maximum. *)
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+
+(** Record one sample (negative values clamp to zero). *)
+val add : t -> float -> unit
+
+val count : t -> int
+val mean : t -> float
+val max_value : t -> float
+
+(** [quantile t q] for [q] in [0, 1]; 0 when empty. *)
+val quantile : t -> float -> float
+
+(** Fold [t]'s samples into [into]. *)
+val merge : into:t -> t -> unit

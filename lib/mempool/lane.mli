@@ -1,0 +1,23 @@
+(** Bounded FIFO of pending commands (one mempool shard).
+
+    A ring over two preallocated unboxed arrays — sequence number and submit
+    time per entry — so pushes and pops on the ingestion hot path allocate
+    nothing.  Capacity is fixed at creation; [push] on a full lane raises
+    (admission control decides before pushing). *)
+
+type t
+
+val create : capacity:int -> t
+val capacity : t -> int
+val length : t -> int
+val is_empty : t -> bool
+val is_full : t -> bool
+
+(** Raises [Invalid_argument] when full. *)
+val push : t -> seq:int -> time:float -> unit
+
+val front_seq : t -> int
+val front_time : t -> float
+
+(** Raises [Invalid_argument] when empty. *)
+val pop : t -> unit

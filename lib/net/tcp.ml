@@ -26,6 +26,7 @@ type config = {
   fault_seed : int;
   link_delay_ms : float;
   wal_dir : string option;
+  clients : Bft_mempool.Spec.t option;
 }
 
 let default ~n ~target_blocks =
@@ -45,6 +46,7 @@ let default ~n ~target_blocks =
     fault_seed = 17;
     link_delay_ms = 0.;
     wal_dir = None;
+    clients = None;
   }
 
 type commit = {
@@ -52,6 +54,8 @@ type commit = {
   c_view : int;
   c_hash : int64;
   c_time_ms : float;
+  c_payload_id : int;
+  c_payload_bytes : int;
 }
 
 type proposal = { p_height : int; p_hash : int64; p_time_ms : float }
@@ -129,7 +133,10 @@ let encode_node_result r =
       W.uvar w c.c_height;
       W.uvar w c.c_view;
       W.u64 w c.c_hash;
-      W.f64 w c.c_time_ms)
+      W.f64 w c.c_time_ms;
+      (* Zigzag: equivocation payloads have negative ids. *)
+      W.svar w c.c_payload_id;
+      W.uvar w c.c_payload_bytes)
     r.commits;
   W.list w
     (fun w p ->
@@ -158,7 +165,9 @@ let decode_node_result body =
             let c_view = R.uvar r in
             let c_hash = R.u64 r in
             let c_time_ms = R.f64 r in
-            { c_height; c_view; c_hash; c_time_ms })
+            let c_payload_id = R.svar r in
+            let c_payload_bytes = R.uvar r in
+            { c_height; c_view; c_hash; c_time_ms; c_payload_id; c_payload_bytes })
       in
       let proposals =
         R.list r (fun r ->
@@ -318,6 +327,18 @@ let node_main (type m) (module P : Protocol_intf.S with type msg = m)
         (Fault_plane.recoveries_upto plane ~view:(view ()))
   in
   let validators = Validator_set.make cfg.n in
+  (* Client-traffic ingestion: each validator rebuilds the identical seeded
+     arrival stream locally, so a leader's watermark observation is the only
+     nondeterminism a batch carries — and under the [Views] spec clock even
+     that is a pure function of the view, making socket chains bit-identical
+     to simulator chains.  Latency accounting happens post-hoc in the
+     coordinator (Net_harness.client_stats), against quorum-commit times. *)
+  let ingest =
+    Option.map
+      (fun spec ->
+        Bft_mempool.Ingest.create ~spec ~n:cfg.n ~view_ms:cfg.delta_ms ())
+      cfg.clients
+  in
   let env =
     {
       Env.id;
@@ -341,7 +362,11 @@ let node_main (type m) (module P : Protocol_intf.S with type msg = m)
       set_timer;
       leader_of = cfg.leader_of;
       make_payload =
-        (fun ~view -> Payload.make ~id:view ~size_bytes:cfg.payload_bytes);
+        (fun ~view ~parent ->
+          match ingest with
+          | Some ing ->
+              Bft_mempool.Ingest.cut ing ~view ~parent ~now:(now_ms t0)
+          | None -> Payload.make ~id:view ~size_bytes:cfg.payload_bytes);
       on_commit =
         (fun b ->
           commits :=
@@ -350,6 +375,8 @@ let node_main (type m) (module P : Protocol_intf.S with type msg = m)
               c_view = b.Block.view;
               c_hash = Hash.to_int64 b.Block.hash;
               c_time_ms = now_ms t0;
+              c_payload_id = b.Block.payload.Payload.id;
+              c_payload_bytes = b.Block.payload.Payload.size_bytes;
             }
             :: !commits;
           emit

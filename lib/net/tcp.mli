@@ -84,6 +84,17 @@ type config = {
       (** Directory for per-node WAL snapshot files ([node-<i>.wal],
           stale ones removed at cluster start).  Defaults to a temp
           directory when a process-mode schedule crashes anyone. *)
+  clients : Bft_mempool.Spec.t option;
+      (** Client-traffic mode: leaders cut blocks from a seeded mempool
+          batch stream instead of the parametric [payload_bytes] payload.
+          Every validator rebuilds the same stream from the spec's seed,
+          so proposals need only carry the batch reference (cursor,
+          watermark, count — packed into {!Bft_types.Payload.id}).  With
+          the spec's [Views] ingest clock the cut is a pure function of
+          the view number, making chains bit-identical to a simulator run
+          of the same spec.  Client-perceived latency is recovered
+          post-hoc by the coordinator (see {!Net_harness}) from the
+          payload references in the commit records. *)
 }
 
 (** [default ~n ~target_blocks] — threads mode, ephemeral ports, empty
@@ -97,6 +108,11 @@ type commit = {
   c_view : int;
   c_hash : int64;
   c_time_ms : float;  (** Wall ms since cluster start. *)
+  c_payload_id : int;
+      (** {!Bft_types.Payload.id} of the committed block — for
+          client-traffic runs this is the packed batch reference that
+          lets the coordinator replay the mempool stream post-hoc. *)
+  c_payload_bytes : int;  (** {!Bft_types.Payload.size_bytes}. *)
 }
 
 (** One first-broadcast of a block by its proposer ({!Bft_types.Env.t}'s

@@ -88,7 +88,7 @@ let rows events =
       | Trace.Delivered { view = None; _ } -> ()
       | Trace.Committed _ -> ()
       (* No view axis; the timeline pp shows them. *)
-      | Trace.Fault _ | Trace.Link_report _ -> ()
+      | Trace.Fault _ | Trace.Link_report _ | Trace.Client_batch _ -> ()
       | Trace.Quorum_commit { view; _ } ->
           let a = get view in
           a.a_commit <- min_opt a.a_commit time)

@@ -24,6 +24,14 @@ type kind =
   | Quorum_commit of { view : int; height : int }
   | Fault of fault
   | Link_report of { peer : int; malformed : int; dropped : int }
+  | Client_batch of {
+      view : int;
+      height : int;
+      count : int;
+      pending : int;
+      p50_ms : float;
+      p99_ms : float;
+    }
 
 type event = { time : float; node : int; kind : kind }
 
@@ -139,7 +147,15 @@ let add_event_json b { time; node; kind } =
       buf_str_field b ~first:false "ev" "link_report";
       buf_field b ~first:false "peer" (string_of_int peer);
       buf_field b ~first:false "malformed" (string_of_int malformed);
-      buf_field b ~first:false "dropped" (string_of_int dropped));
+      buf_field b ~first:false "dropped" (string_of_int dropped)
+  | Client_batch { view; height; count; pending; p50_ms; p99_ms } ->
+      buf_str_field b ~first:false "ev" "client_batch";
+      buf_field b ~first:false "view" (string_of_int view);
+      buf_field b ~first:false "height" (string_of_int height);
+      buf_field b ~first:false "count" (string_of_int count);
+      buf_field b ~first:false "pending" (string_of_int pending);
+      buf_field b ~first:false "p50_ms" (float_str p50_ms);
+      buf_field b ~first:false "p99_ms" (float_str p99_ms));
   Buffer.add_char b '}'
 
 let event_to_json ev =
@@ -183,3 +199,8 @@ let pp_event ppf { time; node; kind } =
   | Link_report { peer; malformed; dropped } ->
       Format.fprintf ppf "%8.1f ms  node %d  LINK peer=%d malformed=%d dropped=%d"
         time node peer malformed dropped
+  | Client_batch { view; height; count; pending; p50_ms; p99_ms } ->
+      Format.fprintf ppf
+        "%8.1f ms  node %d  CLIENT-BATCH v=%d h=%d count=%d pending=%d \
+         p50=%.1fms p99=%.1fms"
+        time node view height count pending p50_ms p99_ms

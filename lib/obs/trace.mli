@@ -55,6 +55,20 @@ type kind =
           undecodable frame bodies received from [peer]; [dropped] =
           frames to [peer] dropped at send time (fault interposition,
           dead peer, reconnect backoff). *)
+  | Client_batch of {
+      view : int;
+      height : int;
+      count : int;
+      pending : int;
+      p50_ms : float;
+      p99_ms : float;
+    }
+      (** Client-traffic runs: a quorum-committed block drained [count]
+          mempool commands, leaving [pending] admitted ones waiting.
+          [p50_ms]/[p99_ms] are the cumulative client-perceived end-to-end
+          latency percentiles (submit → quorum commit) at this point of the
+          run.  Emitted once per quorum-committed block alongside
+          {!Quorum_commit}. *)
 
 (** [node] is the acting node: the emitter for node events, the receiver
     for deliveries, the committing node for (quorum) commits, the affected

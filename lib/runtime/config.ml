@@ -20,6 +20,7 @@ type t = {
   byzantine : (int * Byzantine.t) list;
   faults : Bft_faults.Fault_schedule.t;
   logical_faults : bool;
+  clients : Bft_mempool.Spec.t option;
 }
 
 let default protocol ~n =
@@ -43,6 +44,7 @@ let default protocol ~n =
     byzantine = [];
     faults = Bft_faults.Fault_schedule.empty;
     logical_faults = false;
+    clients = None;
   }
 
 let local protocol ~n =
@@ -92,9 +94,10 @@ let validate t =
     ~byzantine:(List.sort_uniq compare (silent @ distinct))
     t.faults;
   if t.logical_faults then
-    match Bft_faults.Logical.of_schedule ~n:t.n t.faults with
+    (match Bft_faults.Logical.of_schedule ~n:t.n t.faults with
     | Ok _ -> ()
-    | Error e -> invalid_arg ("Config: bad logical schedule: " ^ e)
+    | Error e -> invalid_arg ("Config: bad logical schedule: " ^ e));
+  Option.iter Bft_mempool.Spec.validate t.clients
 
 
 let pp ppf t =

@@ -49,6 +49,15 @@ type t = {
           comparable across substrates.  The harness raises
           [Invalid_argument] if the schedule is not a valid logical
           schedule ({!Bft_faults.Logical.of_schedule}). *)
+  clients : Bft_mempool.Spec.t option;
+      (** Client-traffic ingestion ({!Bft_mempool}).  When set, leaders cut
+          blocks from the replicated mempool (batch references over a seeded
+          arrival stream) instead of synthesizing [payload_bytes]-sized
+          parametric payloads, batch dissemination is priced off the
+          ordering path (proposal wire sizes shed their payload bytes, the
+          ingest summary carries the dissemination bytes instead), and the
+          run reports client-perceived end-to-end latency.  [None]
+          (default) keeps the paper's parametric payloads. *)
 }
 
 (** The paper's WAN setting: [Wan] latencies, 10 Gbit/s egress,

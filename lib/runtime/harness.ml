@@ -16,6 +16,7 @@ type run_result = {
   events_processed : int;
   config : Config.t;
   fault_summary : fault_summary option;
+  client_summary : Bft_mempool.Ingest.summary option;
 }
 
 (* Lifetime event counter, atomic so runs on worker domains count too. *)
@@ -35,6 +36,7 @@ let latency_model (cfg : Config.t) =
   | Config.Uniform { base; jitter } -> Bft_sim.Latency.Uniform { base; jitter }
 
 let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ()) ?trace
+    ?on_client_command
     (module P : Bft_types.Protocol_intf.S with type msg = m)
     (cfg : Config.t) =
   Config.validate cfg;
@@ -61,10 +63,35 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ()) ?trace
       ~drop_prob:cfg.Config.drop_prob
       ~latency:(latency_model cfg) ~delta:cfg.Config.delta_ms ()
   in
+  (* Client-traffic ingestion: one shared coordinator per run.  The arrival
+     stream and lane state machine are pure functions of the spec, and
+     contents are derived by quorum-commit-order replay, so sharing one
+     instance across all (honest) leaders models what every validator's
+     local replayer would compute. *)
+  let ingest =
+    Option.map
+      (fun spec ->
+        Bft_mempool.Ingest.create ?on_command:on_client_command ~spec
+          ~n:cfg.Config.n ~view_ms:cfg.Config.delta_ms ())
+      cfg.Config.clients
+  in
   let engine =
     let cpu_cost = if cfg.Config.model_cpu then Some P.cpu_cost else None in
+    (* With ingestion on, batch contents travel client→validator on the
+       dissemination path (Narwhal-style): a proposal's ordering cost is its
+       header + batch reference, so shed the in-band payload bytes.  Sync
+       responses keep theirs — catch-up really retransmits contents. *)
+    let msg_size =
+      match ingest with
+      | None -> P.msg_size
+      | Some _ ->
+          fun m ->
+            (match P.classify m with
+            | `Proposal -> P.msg_size m - P.payload_bytes m
+            | `Vote | `Timeout | `Other -> P.msg_size m)
+    in
     Bft_sim.Engine.create ~n:cfg.Config.n ~network ~seed:cfg.Config.seed
-      ~msg_size:P.msg_size ?cpu_cost ()
+      ~msg_size ?cpu_cost ()
   in
   let metrics = Metrics.create ~n:cfg.Config.n () in
   (* The online monitor only exists for fault runs; an unfaulted run keeps
@@ -94,9 +121,9 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ()) ?trace
                   };
             }));
   (* Metrics has a single quorum-commit observer slot: compose the trace
-     emitter and the liveness monitor into it. *)
-  (match (trace, monitor) with
-  | None, None -> ()
+     emitter, the liveness monitor and the ingest replayer into it. *)
+  (match (trace, monitor, ingest) with
+  | None, None, None -> ()
   | _ ->
       Metrics.set_on_quorum_commit metrics (fun ~node ~time block ->
           (match monitor with
@@ -105,7 +132,7 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ()) ?trace
                 ~height:block.Block.height
                 ~hash:(Hash.to_int block.Block.hash)
           | None -> ());
-          match trace with
+          (match trace with
           | Some sink ->
               Bft_obs.Trace.emit sink
                 {
@@ -115,6 +142,32 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ()) ?trace
                     Bft_obs.Trace.Quorum_commit
                       { view = block.Block.view; height = block.Block.height };
                 }
+          | None -> ());
+          match ingest with
+          | Some ing ->
+              let drained =
+                Bft_mempool.Ingest.on_quorum_commit ing
+                  ~payload:block.Block.payload ~time
+              in
+              (match trace with
+              | Some sink ->
+                  let r = Bft_mempool.Ingest.batch_report ing ~count:drained in
+                  Bft_obs.Trace.emit sink
+                    {
+                      Bft_obs.Trace.time;
+                      node;
+                      kind =
+                        Bft_obs.Trace.Client_batch
+                          {
+                            view = block.Block.view;
+                            height = block.Block.height;
+                            count = r.Bft_mempool.Ingest.count;
+                            pending = r.Bft_mempool.Ingest.pool_pending;
+                            p50_ms = r.Bft_mempool.Ingest.cum_p50_ms;
+                            p99_ms = r.Bft_mempool.Ingest.cum_p99_ms;
+                          };
+                    }
+              | None -> ())
           | None -> ()));
   let validators = Validator_set.make cfg.Config.n in
   let leader_of =
@@ -154,8 +207,12 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ()) ?trace
           Bft_sim.Engine.set_timer ~owner:id engine delay f);
       leader_of;
       make_payload =
-        (fun ~view ->
-          Payload.make ~id:view ~size_bytes:cfg.Config.payload_bytes);
+        (fun ~view ~parent ->
+          match ingest with
+          | Some ing ->
+              Bft_mempool.Ingest.cut ing ~view ~parent
+                ~now:(Bft_sim.Engine.now engine)
+          | None -> Payload.make ~id:view ~size_bytes:cfg.Config.payload_bytes);
       on_commit =
         (fun block ->
           (match trace with
@@ -439,6 +496,7 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ()) ?trace
               messages_during_heal = !messages_during_heal;
             })
           monitor;
+      client_summary = Option.map Bft_mempool.Ingest.summary ingest;
     }
   in
   Log.info (fun m ->
@@ -447,20 +505,16 @@ let run_protocol (type m) ?(on_commit = fun ~node:_ _ -> ()) ?trace
         result.metrics.Metrics.avg_latency_ms result.messages_sent);
   result
 
-let run ?on_commit ?trace (cfg : Config.t) =
+let run ?on_commit ?trace ?on_client_command (cfg : Config.t) =
+  let go p = run_protocol ?on_commit ?trace ?on_client_command p cfg in
   match cfg.Config.protocol with
-  | Protocol_kind.Simple_moonshot ->
-      run_protocol ?on_commit ?trace (module Moonshot.Simple_node.Protocol) cfg
+  | Protocol_kind.Simple_moonshot -> go (module Moonshot.Simple_node.Protocol)
   | Protocol_kind.Pipelined_moonshot ->
-      run_protocol ?on_commit ?trace (module Moonshot.Pipelined_node.Protocol) cfg
+      go (module Moonshot.Pipelined_node.Protocol)
   | Protocol_kind.Commit_moonshot ->
-      run_protocol ?on_commit ?trace
-        (module Moonshot.Pipelined_node.Commit_protocol)
-        cfg
-  | Protocol_kind.Jolteon ->
-      run_protocol ?on_commit ?trace (module Jolteon.Jolteon_node.Protocol) cfg
-  | Protocol_kind.Hotstuff ->
-      run_protocol ?on_commit ?trace (module Hotstuff.Hotstuff_node.Protocol) cfg
+      go (module Moonshot.Pipelined_node.Commit_protocol)
+  | Protocol_kind.Jolteon -> go (module Jolteon.Jolteon_node.Protocol)
+  | Protocol_kind.Hotstuff -> go (module Hotstuff.Hotstuff_node.Protocol)
 
 let run_seeds cfg ~seeds =
   List.map (fun seed -> run { cfg with Config.seed }) seeds

@@ -34,6 +34,11 @@ type run_result = {
   config : Config.t;
   fault_summary : fault_summary option;
       (** [Some _] iff the config carried a non-empty fault schedule. *)
+  client_summary : Bft_mempool.Ingest.summary option;
+      (** [Some _] iff the config carried a client-traffic spec
+          ({!Config.t.clients}): admission/backpressure counters,
+          client-perceived end-to-end latency percentiles, per-lane
+          fairness and dissemination bytes. *)
 }
 
 (** Run a specific protocol implementation under a configuration.
@@ -46,10 +51,16 @@ type run_result = {
     simulation without perturbing it — the engine's RNG streams and event
     order are identical with and without it — so a traced run commits
     exactly the blocks its untraced twin does.  When [trace] is absent or
-    disabled no instrumentation is installed at all. *)
+    disabled no instrumentation is installed at all.
+
+    [on_client_command] (client-traffic runs only) observes every mempool
+    command drawn into a quorum-committed block, in global commit order —
+    the hook the no-loss/no-duplication property tests use. *)
 val run_protocol :
   ?on_commit:(node:int -> Bft_types.Block.t -> unit) ->
   ?trace:Bft_obs.Trace.t ->
+  ?on_client_command:
+    (seq:int -> lane:int -> submit_ms:float -> commit_ms:float -> unit) ->
   (module Bft_types.Protocol_intf.S with type msg = 'msg) ->
   Config.t ->
   run_result
@@ -58,6 +69,8 @@ val run_protocol :
 val run :
   ?on_commit:(node:int -> Bft_types.Block.t -> unit) ->
   ?trace:Bft_obs.Trace.t ->
+  ?on_client_command:
+    (seq:int -> lane:int -> submit_ms:float -> commit_ms:float -> unit) ->
   Config.t ->
   run_result
 

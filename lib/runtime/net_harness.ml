@@ -198,6 +198,63 @@ let net_liveness (result : Bft_net.Tcp.result) ~delta =
     Bft_obs.Liveness.check mon ~since:gst ~now:(gst +. bound);
   Bft_obs.Liveness.report mon
 
+let client_stats (result : Bft_net.Tcp.result) ~spec ~view_ms =
+  let open Bft_net.Tcp in
+  let n = Array.length result.nodes in
+  let q = quorum ~n in
+  (* Quorum-commit time per height: the [q]-th smallest first-commit
+     time across nodes (client-traffic runs are fault-free, so heights
+     identify blocks). *)
+  let firsts : (int, (int, float) Hashtbl.t) Hashtbl.t = Hashtbl.create 64 in
+  Array.iter
+    (fun nr ->
+      List.iter
+        (fun c ->
+          let m =
+            match Hashtbl.find_opt firsts c.c_height with
+            | Some m -> m
+            | None ->
+                let m = Hashtbl.create 8 in
+                Hashtbl.add firsts c.c_height m;
+                m
+          in
+          match Hashtbl.find_opt m nr.id with
+          | Some t when t <= c.c_time_ms -> ()
+          | _ -> Hashtbl.replace m nr.id c.c_time_ms)
+        nr.commits)
+    result.nodes;
+  let quorum_time height =
+    match Hashtbl.find_opt firsts height with
+    | None -> None
+    | Some m ->
+        let times =
+          Hashtbl.fold (fun _ t acc -> t :: acc) m []
+          |> List.sort Float.compare
+        in
+        if List.length times >= q then Some (List.nth times (q - 1)) else None
+  in
+  (* Replay node 0's chain (deduped by height, commit order = chain
+     order) through a fresh ingestion site: the commit records carry the
+     packed batch references, which is all the replayer needs to rebuild
+     every command and its end-to-end latency. *)
+  let ing = Bft_mempool.Ingest.create ~spec ~n ~view_ms () in
+  let seen = Hashtbl.create 64 in
+  List.iter
+    (fun c ->
+      if not (Hashtbl.mem seen c.c_height) then begin
+        Hashtbl.add seen c.c_height ();
+        match quorum_time c.c_height with
+        | None -> ()
+        | Some t ->
+            let payload =
+              Bft_types.Payload.make ~id:c.c_payload_id
+                ~size_bytes:c.c_payload_bytes
+            in
+            ignore (Bft_mempool.Ingest.on_quorum_commit ing ~payload ~time:t)
+      end)
+    result.nodes.(0).commits;
+  Bft_mempool.Ingest.summary ing
+
 type commit_id = { height : int; view : int; hash : int64 }
 
 type crossval = {
@@ -357,4 +414,96 @@ let cross_validate_chaos ?(n = 4) ?(seed = 7) ~protocol () =
     agree = sim_chain = thread_chain && sim_chain = process_chain;
     thread_liveness;
     process_liveness;
+  }
+
+type client_crossval = {
+  cc_spec : Bft_mempool.Spec.t;
+  cc_blocks : int;
+  cc_sim_chain : commit_id list;
+  cc_net_chain : commit_id list;
+  cc_agree : bool;
+  cc_sim_summary : Bft_mempool.Ingest.summary;
+  cc_net_summary : Bft_mempool.Ingest.summary;
+}
+
+let cross_validate_clients ?(n = 4) ?spec ~protocol ~blocks () =
+  let spec =
+    match spec with
+    | Some s -> s
+    | None ->
+        {
+          Bft_mempool.Spec.default with
+          Bft_mempool.Spec.clients = 100_000;
+          clock = Bft_mempool.Spec.Views;
+          per_view = 32;
+        }
+  in
+  if spec.Bft_mempool.Spec.clock <> Bft_mempool.Spec.Views then
+    invalid_arg
+      "cross_validate_clients: the spec must use the Views ingest clock \
+       (Wall-clock watermarks are substrate-dependent)";
+  let take k l = List.filteri (fun i _ -> i < k) l in
+  (* Simulator side. *)
+  let sim_cfg =
+    {
+      (Config.local protocol ~n) with
+      Config.clients = Some spec;
+      duration_ms = 5_000. +. (float_of_int blocks *. 200.);
+    }
+  in
+  let sim_acc = ref [] in
+  let sim_res =
+    Harness.run
+      ~on_commit:(fun ~node b ->
+        if node = 0 then
+          sim_acc :=
+            {
+              height = b.Bft_types.Block.height;
+              view = b.Bft_types.Block.view;
+              hash = Bft_types.Hash.to_int64 b.Bft_types.Block.hash;
+            }
+            :: !sim_acc)
+      sim_cfg
+  in
+  let sim_chain = take blocks (List.rev !sim_acc) in
+  if List.length sim_chain < blocks then
+    failwith
+      (Printf.sprintf "crossval-clients: simulator committed only %d/%d blocks"
+         (List.length sim_chain) blocks);
+  let cc_sim_summary =
+    match sim_res.Harness.client_summary with
+    | Some s -> s
+    | None -> assert false
+  in
+  (* Socket side: same spec — under the Views clock every cut is a pure
+     function of the view, so the chains must be bit-identical. *)
+  let net_cfg =
+    { (config protocol ~n ~blocks) with Bft_net.Tcp.clients = Some spec }
+  in
+  let result = run protocol net_cfg in
+  (match check result ~target:blocks with
+  | Ok () -> ()
+  | Error e -> failwith ("crossval-clients: " ^ e));
+  let net_chain =
+    take blocks
+      (List.map
+         (fun c ->
+           {
+             height = c.Bft_net.Tcp.c_height;
+             view = c.Bft_net.Tcp.c_view;
+             hash = c.Bft_net.Tcp.c_hash;
+           })
+         result.Bft_net.Tcp.nodes.(0).Bft_net.Tcp.commits)
+  in
+  let cc_net_summary =
+    client_stats result ~spec ~view_ms:net_cfg.Bft_net.Tcp.delta_ms
+  in
+  {
+    cc_spec = spec;
+    cc_blocks = blocks;
+    cc_sim_chain = sim_chain;
+    cc_net_chain = net_chain;
+    cc_agree = sim_chain = net_chain;
+    cc_sim_summary;
+    cc_net_summary;
   }

@@ -50,6 +50,23 @@ val check_chaos : Bft_net.Tcp.result -> target:int -> (unit, string) result
 val net_liveness :
   Bft_net.Tcp.result -> delta:float -> Bft_obs.Liveness.report
 
+(** Post-hoc client-traffic accounting for a socket run whose config
+    carried [clients = Some spec].  Rebuilds an ingestion site from the
+    spec and replays node 0's committed chain through it (the commit
+    records carry each block's packed batch reference), computing every
+    block's quorum-commit time as the [quorum]-th smallest first-commit
+    time across nodes.  The returned summary is the socket-side
+    counterpart of {!Harness.run_result.client_summary}: admission and
+    backpressure counters, client-perceived end-to-end latency
+    percentiles, per-lane fairness and dissemination bytes.  [view_ms]
+    converts view-slot submit times to milliseconds under the [Views]
+    ingest clock — pass the run's [delta_ms]. *)
+val client_stats :
+  Bft_net.Tcp.result ->
+  spec:Bft_mempool.Spec.t ->
+  view_ms:float ->
+  Bft_mempool.Ingest.summary
+
 (** One commit as compared across substrates. *)
 type commit_id = { height : int; view : int; hash : int64 }
 
@@ -92,3 +109,31 @@ type chaos_crossval = {
     substrate fails to commit the prefix at all. *)
 val cross_validate_chaos :
   ?n:int -> ?seed:int -> protocol:Protocol_kind.t -> unit -> chaos_crossval
+
+type client_crossval = {
+  cc_spec : Bft_mempool.Spec.t;  (** The traffic spec both runs ingested. *)
+  cc_blocks : int;  (** Compared prefix length. *)
+  cc_sim_chain : commit_id list;  (** Node 0, simulator. *)
+  cc_net_chain : commit_id list;  (** Node 0, TCP threads mode. *)
+  cc_agree : bool;  (** The two chains are identical. *)
+  cc_sim_summary : Bft_mempool.Ingest.summary;
+  cc_net_summary : Bft_mempool.Ingest.summary;  (** Via {!client_stats}. *)
+}
+
+(** The client-traffic equivalence check: run the same seeded client
+    stream through the simulator and through a live TCP cluster and
+    assert both commit the identical [(height, view, hash)] chain.  The
+    spec must use the [Views] ingest clock (the default here: 100k
+    clients, 32 commands per view) — under it a leader's batch cut is a
+    pure function of the view number and the parent's cursor, so chain
+    agreement means the two substrates replicated the {e same} mempool
+    contents command-for-command.  Raises [Invalid_argument] on a
+    [Wall]-clock spec and [Failure] when either substrate fails to
+    commit the prefix. *)
+val cross_validate_clients :
+  ?n:int ->
+  ?spec:Bft_mempool.Spec.t ->
+  protocol:Protocol_kind.t ->
+  blocks:int ->
+  unit ->
+  client_crossval

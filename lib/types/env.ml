@@ -7,7 +7,7 @@ type 'msg t = {
   multicast : 'msg -> unit;
   set_timer : float -> (unit -> unit) -> unit -> unit;
   leader_of : int -> int;
-  make_payload : view:int -> Payload.t;
+  make_payload : view:int -> parent:Block.t -> Payload.t;
   on_commit : Block.t -> unit;
   on_propose : Block.t -> unit;
   probe : (Probe.event -> unit) option;

@@ -18,10 +18,12 @@ type 'msg t = {
           milliseconds and returns a cancel thunk.  Cancelling after the
           timer fired is a no-op. *)
   leader_of : int -> int;  (** Leader election function [L(view)]. *)
-  make_payload : view:int -> Payload.t;
-      (** The fixed payload [b_v] for a view; deterministic so that the
-          optimistic and normal proposals of an honest leader carry the same
-          block. *)
+  make_payload : view:int -> parent:Block.t -> Payload.t;
+      (** The fixed payload [b_v] for a block proposed at [view] extending
+          [parent]; deterministic per view so that the optimistic and normal
+          proposals of an honest leader carry the same block.  Parametric
+          runs ignore [parent]; client-traffic runs read the parent's batch
+          cursor to cut the next mempool batch (lib/mempool). *)
   on_commit : Block.t -> unit;
       (** Invoked exactly once per block, in chain order, when this node
           commits it. *)

@@ -8,5 +8,30 @@ let make ~id ~size_bytes =
 
 let empty ~id = { id; size_bytes = 0 }
 let item_count t = t.size_bytes / item_size
+
+(* Batch payloads: references into the replicated mempool stream.  The id
+   packs a tag bit, the chain cursor (commands consumed by ancestors) and the
+   arrival watermark observed at cut time into one non-negative integer, so a
+   batch survives the wire codec's LEB128 id (< 2^61) and participates in
+   block hashing unchanged.  Contents are never stored: every replica derives
+   them by replaying arrivals [parent's watermark, watermark) through the
+   deterministic lane state machine and drawing [item_count] commands. *)
+
+let batch_field_bits = 30
+let batch_field_max = (1 lsl batch_field_bits) - 1
+let batch_tag = 1 lsl (2 * batch_field_bits)
+
+let batch ~cursor ~watermark ~count =
+  if cursor < 0 || cursor > batch_field_max then
+    invalid_arg "Payload.batch: cursor out of range";
+  if watermark < 0 || watermark > batch_field_max then
+    invalid_arg "Payload.batch: watermark out of range";
+  if count < 0 then invalid_arg "Payload.batch: negative count";
+  { id = batch_tag lor (cursor lsl batch_field_bits) lor watermark;
+    size_bytes = count * item_size }
+
+let is_batch t = t.id > 0 && t.id land batch_tag <> 0
+let batch_cursor t = (t.id lsr batch_field_bits) land batch_field_max
+let batch_watermark t = t.id land batch_field_max
 let equal a b = a.id = b.id && a.size_bytes = b.size_bytes
 let pp ppf t = Format.fprintf ppf "payload(id=%d, %dB)" t.id t.size_bytes

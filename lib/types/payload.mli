@@ -20,5 +20,39 @@ val empty : id:int -> t
 (** Number of 180-byte items the payload holds (rounded down). *)
 val item_count : t -> int
 
+(** {2 Mempool batch references}
+
+    When a run ingests client traffic (lib/mempool), leaders cut blocks from
+    the replicated mempool instead of synthesizing parametric payloads.  A
+    batch payload carries no contents — only two scalars packed into [id]:
+
+    - [cursor]: how many mempool commands the block's {e ancestors} consumed;
+    - [watermark]: how many client arrivals the leader had observed when it
+      cut the batch (monotone along the chain).
+
+    [size_bytes = count * item_size] advertises the number of commands drawn.
+    Contents are derived deterministically by commit-order replay, so every
+    replica (and both substrates) reconstructs the same commands without the
+    leader ever choosing the composition.  Both fields must fit in 30 bits;
+    the tagged id stays below the wire codec's 2^61 LEB128 guard. *)
+
+(** [batch ~cursor ~watermark ~count] builds a batch reference.
+    Raises [Invalid_argument] if a field is negative or exceeds 30 bits. *)
+val batch : cursor:int -> watermark:int -> count:int -> t
+
+(** Largest value a batch cursor or watermark can carry (2{^30} − 1). *)
+val batch_field_max : int
+
+(** [is_batch t] is true iff [t] was built by {!batch}.  Parametric payloads
+    (small non-negative view ids) and equivocation payloads (negative ids)
+    never parse as batches. *)
+val is_batch : t -> bool
+
+(** Chain cursor of a batch payload (commands consumed by ancestors). *)
+val batch_cursor : t -> int
+
+(** Arrival watermark of a batch payload. *)
+val batch_watermark : t -> int
+
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

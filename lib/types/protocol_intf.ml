@@ -21,6 +21,16 @@ module type S = sig
       withholding) and trace statistics. *)
   val classify : msg -> [ `Proposal | `Vote | `Timeout | `Other ]
 
+  (** Payload bytes the message carries in-band (the block body of a
+      proposal or sync response; 0 for votes, timeouts and other
+      header-only traffic).  Client-traffic runs use it to price
+      dissemination separately from ordering: the harness subtracts a
+      proposal's payload bytes from its wire size (batch contents travel on
+      the client→validator dissemination path, Narwhal-style) while sync
+      retransmissions keep theirs.  Always ≤ {!msg_size} of the same
+      message. *)
+  val payload_bytes : msg -> int
+
   (** The view (round) a message belongs to, when it has one — used by the
       observability layer to attribute delivered messages and bytes to
       per-view complexity counters.  [None] for view-less traffic such as

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# Tier-1 gate. This script IS the CI definition: .github/workflows/ci.yml
+# does nothing but install a switch and run it, so a green local run of
+#
+#     ./scripts/ci.sh
+#
+# means a green CI run (modulo toolchain version skew).  Keep the two in
+# lockstep by keeping all logic here and none in the workflow.
+#
+# Steps:
+#   1. dune build @all        -- every library, executable and example
+#   2. dune runtest           -- unit/property/integration suites plus the
+#                                smoke aliases (bench smoke, mc-smoke,
+#                                bench-smoke perf tripwire, net smoke)
+#   3. dune build @doc        -- only when odoc is installed; docs are part
+#                                of the gate where available, skipped (with
+#                                a notice) where not
+#   4. git status --porcelain -- the build must not dirty the checkout:
+#                                generated artefacts belong under _build,
+#                                committed fixtures (BENCH_*.json) must not
+#                                be clobbered by tests.  Compared against a
+#                                snapshot taken before the build, so running
+#                                the gate on a work-in-progress tree only
+#                                flags dirt the build itself introduced
+#
+# Policy on the perf tripwire: `dune runtest` includes bench-smoke, which
+# fails if simulator events/second regress >30% against the committed
+# BENCH_simcore.json.  That baseline was measured on a dedicated box;
+# shared CI runners are slower and noisier, so CI exports
+# MOONSHOT_BENCH_SMOKE=skip, demoting a tripwire failure to a warning
+# there.  Locally the tripwire stays live — run with the variable unset.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n==> %s\n' "$*"; }
+
+before=$(git status --porcelain)
+
+step "dune build @all"
+dune build @all
+
+step "dune runtest"
+dune runtest
+
+if command -v odoc >/dev/null 2>&1; then
+  step "dune build @doc"
+  dune build @doc
+else
+  step "odoc not installed; skipping @doc"
+fi
+
+step "git status --porcelain (build must not dirty the checkout)"
+after=$(git status --porcelain)
+if [ "$after" != "$before" ]; then
+  echo "error: build or tests changed the checkout; status delta:" >&2
+  diff <(echo "$before") <(echo "$after") >&2 || true
+  exit 1
+fi
+
+step "tier-1 gate passed"

@@ -35,7 +35,7 @@ let create ?(precommit = false) ?(n = 4) ?(hop = 10.) ?(delta = 50.) () =
       multicast = (fun msg -> Bft_sim.Engine.multicast engine ~src:id msg);
       set_timer = (fun d f -> Bft_sim.Engine.set_timer engine d f);
       leader_of = (fun view -> (view - 1) mod n);
-      make_payload = (fun ~view -> Payload.make ~id:view ~size_bytes:0);
+      make_payload = (fun ~view ~parent:_ -> Payload.make ~id:view ~size_bytes:0);
       on_commit = (fun _ -> ());
       on_propose = (fun _ -> ());
       probe = None;

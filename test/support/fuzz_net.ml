@@ -91,7 +91,7 @@ let create (type node)
           t.timers <- (cancelled, id, f) :: t.timers;
           fun () -> cancelled := true);
       leader_of = (fun view -> (view - 1) mod n);
-      make_payload = (fun ~view -> Payload.make ~id:view ~size_bytes:0);
+      make_payload = (fun ~view ~parent:_ -> Payload.make ~id:view ~size_bytes:0);
       on_commit =
         (fun b ->
           check_safety t b;

@@ -49,7 +49,7 @@ let create ?(n = 4) ?(delta = 100.) ?leader_of ~id () =
           t.timers <- (t.time +. delay, cancelled, f) :: t.timers;
           fun () -> cancelled := true);
       leader_of;
-      make_payload = (fun ~view -> Payload.make ~id:view ~size_bytes:0);
+      make_payload = (fun ~view ~parent:_ -> Payload.make ~id:view ~size_bytes:0);
       on_commit = (fun b -> t.committed <- b :: t.committed);
       on_propose = (fun b -> t.proposed <- b :: t.proposed);
       probe = None;

@@ -135,6 +135,50 @@ let test_ledger_digest_at_bounds () =
   check "height zero digest exists" true (Ledger.digest_at l 0 <> None);
   check "future height is none" true (Ledger.digest_at l 5 = None)
 
+(* --- Replay determinism ------------------------------------------------------------ *)
+
+let test_batch_expansion_deterministic () =
+  (* Batch references expand like any other payload: the packed id fully
+     determines the command stream, so replicas replaying the committed
+     chain reconstruct identical batches. *)
+  let p = Payload.batch ~cursor:4_096 ~watermark:10_000 ~count:12 in
+  let a = Command.of_payload p and b = Command.of_payload p in
+  check_int "count commands" 12 (List.length a);
+  check "expansion deterministic" true (List.for_all2 Command.equal a b);
+  let q = Payload.batch ~cursor:4_097 ~watermark:10_000 ~count:12 in
+  check "cursor feeds the expansion" true
+    (not (List.for_all2 Command.equal a (Command.of_payload q)))
+
+let test_kv_replay_deterministic () =
+  (* The same command sequence applied to two fresh stores yields the same
+     digest at every step — state is a pure function of the history. *)
+  let cmds =
+    List.concat_map Command.of_payload
+      (List.map (fun id -> Payload.make ~id ~size_bytes:1_800) [ 1; 2; 3; 4 ])
+  in
+  let a = Kv_store.create () and b = Kv_store.create () in
+  List.iter
+    (fun c ->
+      Kv_store.apply a c;
+      Kv_store.apply b c;
+      if not (Hash.equal (Kv_store.digest a) (Kv_store.digest b)) then
+        Alcotest.fail "digest diverged mid-replay")
+    cmds;
+  check "final digests agree" true (Hash.equal (Kv_store.digest a) (Kv_store.digest b))
+
+let test_ledger_replay_deterministic () =
+  let chain = payload_chain 6 in
+  let a = Ledger.create () and b = Ledger.create () in
+  List.iter (Ledger.apply_block a) chain;
+  List.iter (Ledger.apply_block b) chain;
+  check "tip digests agree" true (Hash.equal (Ledger.digest a) (Ledger.digest b));
+  for h = 0 to 6 do
+    check "prefix digests agree" true
+      (match (Ledger.digest_at a h, Ledger.digest_at b h) with
+      | Some x, Some y -> Hash.equal x y
+      | _ -> false)
+  done
+
 (* --- Client latency analysis --------------------------------------------------------- *)
 
 let test_client_analysis () =
@@ -203,6 +247,12 @@ let () =
           Alcotest.test_case "rejects gaps" `Quick test_ledger_rejects_gaps;
           Alcotest.test_case "replicas agree on prefix" `Quick test_ledger_replicas_agree;
           Alcotest.test_case "digest_at bounds" `Quick test_ledger_digest_at_bounds;
+          Alcotest.test_case "batch expansion deterministic" `Quick
+            test_batch_expansion_deterministic;
+          Alcotest.test_case "kv replay deterministic" `Quick
+            test_kv_replay_deterministic;
+          Alcotest.test_case "ledger replay deterministic" `Quick
+            test_ledger_replay_deterministic;
         ] );
       ( "client",
         [

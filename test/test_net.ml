@@ -539,6 +539,36 @@ let crossval_with_payload () =
   in
   Alcotest.(check bool) "payload run agrees" true cv.Net_harness.agree
 
+(* The client-traffic equivalence bar: the same seeded client stream,
+   ingested under the Views clock, must put every command in the same
+   block on both substrates — chains agree (height, view, hash), and
+   since batch contents are a pure function of the payload reference,
+   the replicated mempools agree command-for-command. *)
+let crossval_clients_case kind =
+  Alcotest.test_case (Protocol_kind.name kind) `Quick (fun () ->
+      let cv =
+        Net_harness.cross_validate_clients ~n:4 ~protocol:kind ~blocks:5 ()
+      in
+      if not cv.Net_harness.cc_agree then
+        Alcotest.failf "client chains disagree: sim %s, net %s"
+          (String.concat ","
+             (List.map
+                (fun (c : Net_harness.commit_id) ->
+                  Printf.sprintf "%d@%d" c.Net_harness.height c.view)
+                cv.Net_harness.cc_sim_chain))
+          (String.concat ","
+             (List.map
+                (fun (c : Net_harness.commit_id) ->
+                  Printf.sprintf "%d@%d" c.Net_harness.height c.view)
+                cv.Net_harness.cc_net_chain));
+      (* Both replayers saw real traffic and lost nothing. *)
+      List.iter
+        (fun (s : Bft_mempool.Ingest.summary) ->
+          Alcotest.(check bool) "commands flowed" true (s.committed > 0);
+          Alcotest.(check int) "conservation" s.submitted
+            (s.rejected + s.committed + s.pending + s.backlogged))
+        [ cv.Net_harness.cc_sim_summary; cv.Net_harness.cc_net_summary ])
+
 (* The chaos equivalence bar: a seeded random logical schedule (one
    crash/recover plus one partition window) must yield the identical
    committed (height, view, hash) chain on the simulator and on real
@@ -605,5 +635,6 @@ let () =
       ( "crossval",
         List.map crossval_case Protocol_kind.all
         @ [ Alcotest.test_case "with payload" `Quick crossval_with_payload ] );
+      ( "crossval-clients", List.map crossval_clients_case Protocol_kind.all );
       ( "crossval-chaos", List.map crossval_chaos_case Protocol_kind.all );
     ]
