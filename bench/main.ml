@@ -29,7 +29,7 @@
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|table2|table3|fig6|fig7|fig8|fig9|fairness|chaos|clients|ablations|micro|mc|mc-smoke|smoke|bench-smoke|n1000|all] \
+     [table1|table2|table3|fig6|fig7|fig8|fig9|fairness|chaos|clients|ablations|micro|mc|mc-smoke|mc-swarm-smoke|smoke|bench-smoke|n1000|all] \
      [--full] [--jobs N] [--baseline PATH]";
   exit 1
 
@@ -110,6 +110,7 @@ let () =
         | "n1000" -> Experiments.scale_beyond scale
         | "mc" -> Mc.run ~jobs ~full ()
         | "mc-smoke" -> Mc.smoke ()
+        | "mc-swarm-smoke" -> Mc.swarm_smoke ()
         | "smoke" ->
             (* Tiny grid on 2 domains (unless --jobs overrides), exercised
                from [dune runtest]: keeps the bench binary, the experiment

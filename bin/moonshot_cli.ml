@@ -504,8 +504,11 @@ let run_net_cmd =
              report.recoveries;
            Format.printf
              "liveness        : max quorum-commit gap %.0f ms (bound %.0f \
-              ms after last disruption)@."
+              ms after last disruption)%s@."
              report.max_quorum_gap_ms report.bound_ms
+             (match report.min_slack_ms with
+             | Some s -> Printf.sprintf ", min check slack %.0f ms" s
+             | None -> "")
        | exception Bft_obs.Liveness.Violation msg ->
            Format.printf "liveness        : VIOLATION (%s)@." msg;
            if check then exit 1);
@@ -670,8 +673,11 @@ let crossval_chaos_cmd =
                   (t -. rec_.recovered_at_ms)
             | None -> "NEVER CAUGHT UP"))
         report.recoveries;
-      Format.printf "%s : max quorum-commit gap %.0f ms (bound %.0f ms)@."
+      Format.printf "%s : max quorum-commit gap %.0f ms (bound %.0f ms)%s@."
         label report.max_quorum_gap_ms report.bound_ms
+        (match report.min_slack_ms with
+        | Some s -> Printf.sprintf ", min check slack %.0f ms" s
+        | None -> "")
     in
     print_liveness "threads " cv.Net_harness.thread_liveness;
     print_liveness "procs   " cv.Net_harness.process_liveness;
@@ -824,6 +830,191 @@ let table2_cmd =
       const (fun () -> Bft_workload.Regions.print_table Format.std_formatter)
       $ const ())
 
+(* {2 explore} — the model checker's sampling modes from the command line:
+   swarm walks over one world, or coverage-guided search over fault
+   schedules.  Exhaustive checking stays in the bench driver ([bench mc]);
+   this subcommand is for the modes one points at a world interactively. *)
+
+let explore_cmd =
+  let mode =
+    Arg.(
+      value
+      & opt (enum [ ("swarm", `Swarm); ("search", `Search) ]) `Swarm
+      & info [ "mode" ] ~docv:"MODE"
+          ~doc:
+            "$(b,swarm): sample maximal interleavings with \
+             sleep-set-respecting random walks and report coverage, \
+             violations and certified livelocks.  $(b,search): mutate \
+             fault schedules, scoring each candidate by a swarm under its \
+             schedule, until a counterexample turns up or the budget runs \
+             out.")
+  in
+  let view_bound =
+    Arg.(
+      value & opt int 3
+      & info [ "view-bound" ] ~docv:"V"
+          ~doc:"Stop a walk once some node's view exceeds V.")
+  in
+  let depth =
+    Arg.(
+      value & opt int 96
+      & info [ "depth" ] ~docv:"STEPS" ~doc:"Step cap per walk.")
+  in
+  let timer_budget =
+    Arg.(
+      value & opt int 1
+      & info [ "timer-budget" ] ~docv:"T"
+          ~doc:"Timer firings per node per fault era.")
+  in
+  let reorder_window =
+    Arg.(
+      value & opt int 1
+      & info [ "reorder-window" ] ~docv:"W"
+          ~doc:"Per-destination cross-channel overtaking bound.")
+  in
+  let budget =
+    Arg.(
+      value & opt int 256
+      & info [ "budget" ] ~docv:"K"
+          ~doc:
+            "Exploration budget: walks in swarm mode; approximate schedule \
+             evaluations in search mode (12 per mutation round).")
+  in
+  let jobs =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker processes; reports are byte-identical for every N.")
+  in
+  let sym =
+    Arg.(
+      value & flag
+      & info [ "sym" ]
+          ~doc:
+            "Canonicalize state digests under the validator-symmetry \
+             group (sound; pays off once n >= view-bound + 2).")
+  in
+  let faults_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "faults" ] ~docv:"SCHED"
+          ~doc:
+            "Fault schedule for swarm mode, in the fault-DSL syntax (e.g. \
+             'partition@100-500:0,1/2,3').  Ignored by search mode, which \
+             supplies its own candidates.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:
+            "Replay the first counterexample (violation or certified \
+             livelock) and write its deterministic trace as JSONL.")
+  in
+  let run mode proto n view_bound depth timer_budget reorder_window seed
+      budget jobs sym faults out =
+    let die fmt =
+      Format.kasprintf
+        (fun s ->
+          prerr_endline s;
+          exit 2)
+        fmt
+    in
+    let compile_faults s =
+      match Bft_faults.Fault_schedule.of_string s with
+      | Error e -> die "bad fault schedule: %s" e
+      | Ok sched -> (
+          match Bft_mc.Mc_schedule.compile ~n sched with
+          | Error e -> die "bad fault schedule: %s" e
+          | Ok steps -> steps)
+    in
+    let cfg ~faults =
+      Bft_mc.Checker.config ~n ~view_bound ~timer_budget ~reorder_window
+        ~max_depth:(max 128 (depth + 8))
+        ~symmetry:sym ~faults ()
+    in
+    let write_trace cfg path file =
+      let tr = Bft_mc.Checker.replay proto cfg path in
+      let oc = open_out file in
+      output_string oc (Bft_obs.Trace.to_jsonl tr);
+      close_out oc;
+      Format.printf "counterexample trace written to %s@." file
+    in
+    match mode with
+    | `Swarm ->
+        let steps =
+          match faults with None -> [] | Some s -> compile_faults s
+        in
+        let cfg = cfg ~faults:steps in
+        let sw =
+          Bft_mc.Checker.swarm ~jobs proto ~walks:budget ~depth ~seed cfg
+        in
+        Format.printf "%a@." Bft_mc.Mc_report.pp_swarm sw;
+        let cx_path =
+          match sw.Bft_mc.Mc_report.sw_violations with
+          | v :: _ -> Some v.Bft_mc.Mc_report.path
+          | [] -> sw.Bft_mc.Mc_report.sw_livelock_witness
+        in
+        (match (out, cx_path) with
+        | Some file, Some path -> write_trace cfg path file
+        | Some _, None ->
+            Format.printf "no counterexample found; nothing written@."
+        | None, _ -> ());
+        if cx_path <> None then exit 1
+    | `Search ->
+        let xcfg =
+          Bft_mc.Checker.search_config ~seed
+            ~rounds:(max 1 (budget / 12))
+            ~depth ()
+        in
+        let se =
+          Bft_mc.Checker.schedule_search ~jobs proto xcfg (cfg ~faults:[])
+        in
+        Format.printf "%a@." Bft_mc.Mc_report.pp_search se;
+        (match se.Bft_mc.Mc_report.se_counterexample with
+        | Some (sched_text, cx) ->
+            (match out with
+            | Some file ->
+                let steps = compile_faults sched_text in
+                let path =
+                  match cx with
+                  | Bft_mc.Mc_report.Cx_livelock p -> p
+                  | Bft_mc.Mc_report.Cx_violation v ->
+                      v.Bft_mc.Mc_report.path
+                in
+                write_trace (cfg ~faults:steps) path file
+            | None -> ());
+            exit 1
+        | None -> ())
+  in
+  let man =
+    [
+      `S Manpage.s_description;
+      `P
+        "Scalable exploration over the same bounded model the exhaustive \
+         checker uses: every result — a violation path, a certified \
+         livelock, a searched-up fault schedule — replays \
+         deterministically, and every report is byte-identical for any \
+         $(b,--jobs) value.  Exits 1 when a counterexample is found.";
+      `S Manpage.s_examples;
+      `Pre
+        "  moonshot explore -p SM -n 4 --budget 512\n\
+        \  moonshot explore -p SM -n 4 --faults 'partition@100-500:0,1/2,3'\n\
+        \  moonshot explore --mode search -p SM -n 4 --budget 100 --out cx.jsonl";
+    ]
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Swarm walks and coverage-guided schedule search (model checker)"
+       ~man)
+    Term.(
+      const run $ mode $ protocol $ nodes ~default:4 $ view_bound $ depth
+      $ timer_budget $ reorder_window $ seed $ budget $ jobs $ sym
+      $ faults_arg $ out)
+
 let () =
   Bft_parallel.Parallel.tune_gc ();
   let man =
@@ -854,6 +1045,7 @@ let () =
             crossval_cmd;
             crossval_chaos_cmd;
             crossval_clients_cmd;
+            explore_cmd;
             table1_cmd;
             table2_cmd;
           ]))

@@ -1,0 +1,242 @@
+(* Seeded mutations over fault schedules, for the model checker's
+   coverage-guided search.  Every operator stays inside the fragment the
+   checker can compile — crash/recover pairs and non-overlapping partition
+   windows (loss and delay have no untimed meaning) — and every candidate
+   is validated before being returned, so the search never wastes an
+   evaluation on a rejected schedule.
+
+   Times live on a coarse grid: the checker ignores magnitudes (it
+   linearizes by order), so the grid only has to make window-overlap
+   checks exact and keep the textual syntax round-trippable. *)
+
+module FS = Fault_schedule
+module Rng = Bft_sim.Rng
+
+let grid = 10.
+let horizon_slots = 100
+
+let slot rng = grid *. float_of_int (Rng.int rng horizon_slots)
+
+(* A window [a, b) on the grid, nonempty, within the horizon. *)
+let window rng =
+  let a = slot rng in
+  let len = grid *. float_of_int (1 + Rng.int rng 40) in
+  let b = Float.min (a +. len) (grid *. float_of_int horizon_slots) in
+  if b <= a then (a, a +. grid) else (a, b)
+
+(* Color every node, keep the nonempty groups; at least two groups so the
+   partition actually cuts something.  Singleton groups are deliberately
+   reachable — fully-async splits are where view-divergence bugs live. *)
+let random_groups rng n =
+  let k = 2 + Rng.int rng (max 1 (n - 1)) in
+  let color = Array.init n (fun _ -> Rng.int rng k) in
+  (* Force at least two distinct colors. *)
+  if Array.for_all (fun c -> c = color.(0)) color then
+    color.(n - 1) <- (color.(0) + 1) mod k;
+  let groups =
+    List.filter_map
+      (fun c ->
+        match List.filter (fun i -> color.(i) = c) (List.init n (fun i -> i)) with
+        | [] -> None
+        | g -> Some g)
+      (List.init k (fun c -> c))
+  in
+  groups
+
+let partitions sched =
+  List.filter_map
+    (function FS.Partition _ as p -> Some p | _ -> None)
+    sched
+
+let crash_nodes sched =
+  List.filter_map (function FS.Crash { node; _ } -> Some node | _ -> None) sched
+
+(* The checker supports one open partition at a time: windows must be
+   pairwise disjoint.  [FS.validate] does not enforce this (the harness
+   handles overlap), so the mutator checks it itself. *)
+let windows_disjoint sched =
+  let ws =
+    List.filter_map
+      (function
+        | FS.Partition { from_; until; _ } -> Some (from_, until) | _ -> None)
+      sched
+  in
+  let rec ok = function
+    | [] -> true
+    | (a, b) :: rest ->
+        List.for_all (fun (a', b') -> b <= a' || b' <= a) rest && ok rest
+  in
+  ok ws
+
+let valid ~n ~f sched =
+  windows_disjoint sched
+  &&
+  try
+    FS.validate ~n ~f ~byzantine:[] sched;
+    true
+  with Invalid_argument _ -> false
+
+(* {2 Operators}.  Each returns [None] when it does not apply (nothing to
+   drop, no free node to crash) — the driver then draws another. *)
+
+let pick rng = function
+  | [] -> None
+  | l -> Some (List.nth l (Rng.int rng (List.length l)))
+
+let replace sched old by =
+  by @ List.filter (fun ev -> ev != old) sched
+
+let add_partition rng ~n sched =
+  let from_, until = window rng in
+  Some (FS.Partition { groups = random_groups rng n; from_; until } :: sched)
+
+let drop_partition rng ~n:_ sched =
+  Option.map (fun p -> replace sched p []) (pick rng (partitions sched))
+
+let retime_partition rng ~n:_ sched =
+  Option.map
+    (fun p ->
+      match p with
+      | FS.Partition { groups; _ } ->
+          let from_, until = window rng in
+          replace sched p [ FS.Partition { groups; from_; until } ]
+      | _ -> sched)
+    (pick rng (partitions sched))
+
+let regroup_partition rng ~n sched =
+  Option.map
+    (fun p ->
+      match p with
+      | FS.Partition { from_; until; _ } ->
+          replace sched p
+            [ FS.Partition { groups = random_groups rng n; from_; until } ]
+      | _ -> sched)
+    (pick rng (partitions sched))
+
+let split_group rng ~n:_ sched =
+  Option.bind (pick rng (partitions sched)) (fun p ->
+      match p with
+      | FS.Partition { groups; from_; until } -> (
+          match
+            pick rng (List.filter (fun g -> List.length g >= 2) groups)
+          with
+          | None -> None
+          | Some g ->
+              let cut = 1 + Rng.int rng (List.length g - 1) in
+              let a = List.filteri (fun i _ -> i < cut) g in
+              let b = List.filteri (fun i _ -> i >= cut) g in
+              let groups =
+                a :: b :: List.filter (fun g' -> g' != g) groups
+              in
+              Some (replace sched p [ FS.Partition { groups; from_; until } ]))
+      | _ -> None)
+
+let merge_groups rng ~n:_ sched =
+  Option.bind (pick rng (partitions sched)) (fun p ->
+      match p with
+      | FS.Partition { groups; from_; until } when List.length groups >= 3 ->
+          let i = Rng.int rng (List.length groups) in
+          let j = Rng.int rng (List.length groups) in
+          if i = j then None
+          else
+            let gi = List.nth groups i and gj = List.nth groups j in
+            let groups =
+              (gi @ gj)
+              :: List.filter (fun g -> g != gi && g != gj) groups
+            in
+            Some (replace sched p [ FS.Partition { groups; from_; until } ])
+      | _ -> None)
+
+let add_crash rng ~n sched =
+  let free =
+    List.filter
+      (fun i -> not (List.mem i (crash_nodes sched)))
+      (List.init n (fun i -> i))
+  in
+  Option.map
+    (fun node ->
+      let at, back = window rng in
+      FS.Crash { node; at } :: FS.Recover { node; at = back } :: sched)
+    (pick rng free)
+
+let crash_pair sched node =
+  List.filter
+    (function
+      | FS.Crash { node = i; _ } | FS.Recover { node = i; _ } -> i = node
+      | _ -> false)
+    sched
+
+let drop_crash rng ~n:_ sched =
+  Option.map
+    (fun node ->
+      List.filter
+        (fun ev -> not (List.memq ev (crash_pair sched node)))
+        sched)
+    (pick rng (crash_nodes sched))
+
+let retime_crash rng ~n:_ sched =
+  Option.map
+    (fun node ->
+      let at, back = window rng in
+      FS.Crash { node; at }
+      :: FS.Recover { node; at = back }
+      :: List.filter (fun ev -> not (List.memq ev (crash_pair sched node))) sched)
+    (pick rng (crash_nodes sched))
+
+let revictim_crash rng ~n sched =
+  Option.bind (pick rng (crash_nodes sched)) (fun old ->
+      let free =
+        List.filter
+          (fun i -> not (List.mem i (crash_nodes sched)))
+          (List.init n (fun i -> i))
+      in
+      Option.map
+        (fun node ->
+          List.map
+            (function
+              | FS.Crash { node = i; at } when i = old -> FS.Crash { node; at }
+              | FS.Recover { node = i; at } when i = old ->
+                  FS.Recover { node; at }
+              | ev -> ev)
+            sched)
+        (pick rng free))
+
+let operators =
+  [|
+    add_partition;
+    drop_partition;
+    retime_partition;
+    regroup_partition;
+    split_group;
+    split_group;  (* double weight: splits reach the singleton groups *)
+    merge_groups;
+    add_crash;
+    drop_crash;
+    retime_crash;
+    revictim_crash;
+  |]
+
+let mutate ~n ~f rng sched =
+  let rec attempt k =
+    if k = 0 then sched
+    else
+      let op = operators.(Rng.int rng (Array.length operators)) in
+      match op rng ~n sched with
+      | Some cand when valid ~n ~f (FS.sorted cand) -> FS.sorted cand
+      | _ -> attempt (k - 1)
+  in
+  attempt 8
+
+let seeds ~n =
+  let all = List.init n (fun i -> i) in
+  let halves =
+    [
+      List.filter (fun i -> i < n / 2) all; List.filter (fun i -> i >= n / 2) all;
+    ]
+  in
+  [
+    [];
+    [ FS.Partition { groups = halves; from_ = 100.; until = 500. } ];
+    [ FS.Partition { groups = List.map (fun i -> [ i ]) all; from_ = 100.; until = 500. } ];
+    [ FS.Crash { node = n - 1; at = 200. }; FS.Recover { node = n - 1; at = 600. } ];
+  ]

@@ -1,0 +1,29 @@
+(** Seeded mutations over fault schedules, the search space of the model
+    checker's coverage-guided exploration ({!Bft_mc} — the dependency
+    points the other way, so this module only knows schedules).
+
+    All candidates stay inside the checker-compilable fragment:
+    crash/recover pairs (one per node, strictly ordered) and pairwise
+    disjoint partition windows whose groups may include singletons — the
+    fully-async splits where view-divergence bugs live.  Every returned
+    schedule passes {!Fault_schedule.validate} under the given fault
+    budget [f]; an operator that cannot produce a valid candidate after a
+    few draws returns the parent unchanged.
+
+    Times live on a coarse grid purely to order events and keep the
+    textual syntax round-trippable — the checker linearizes by order and
+    ignores magnitudes. *)
+
+(** [mutate ~n ~f rng sched] applies one randomly drawn operator: add,
+    drop, retime or regroup a partition window; split a group (weighted
+    double — splits reach the singleton topologies) or merge two; add,
+    drop, retime or re-victim a crash/recover pair.  Deterministic in
+    [rng]'s state. *)
+val mutate :
+  n:int -> f:int -> Bft_sim.Rng.t -> Fault_schedule.t -> Fault_schedule.t
+
+(** Initial population for a search over [n]-node worlds: the empty
+    schedule, a halves partition, an all-singletons partition, and one
+    crash/recover pair — the standing chaos idioms, none of them a bug by
+    itself. *)
+val seeds : n:int -> Fault_schedule.t list

@@ -12,11 +12,12 @@ type config = {
   equivocators : int list;
   faults : Mc_schedule.step list;
   payload_bytes : int;
+  symmetry : bool;
 }
 
 let config ?(delta = 10.) ?(max_depth = 128) ?(timer_budget = 4)
     ?(reorder_window = 1) ?(equivocators = []) ?(faults = [])
-    ?(payload_bytes = 0) ~n ~view_bound () =
+    ?(payload_bytes = 0) ?(symmetry = false) ~n ~view_bound () =
   if n < 1 then invalid_arg "Checker.config: n < 1";
   if view_bound < 1 then invalid_arg "Checker.config: view_bound < 1";
   if max_depth < 1 then invalid_arg "Checker.config: max_depth < 1";
@@ -36,6 +37,45 @@ let config ?(delta = 10.) ?(max_depth = 128) ?(timer_budget = 4)
     equivocators;
     faults;
     payload_bytes;
+    symmetry;
+  }
+
+(* Nodes a schedule names are not interchangeable with anyone. *)
+let fault_fixed steps =
+  List.concat_map
+    (function
+      | Mc_schedule.Crash i | Mc_schedule.Recover i -> [ i ]
+      | Mc_schedule.Partition_on groups -> List.concat groups
+      | Mc_schedule.Partition_off -> [])
+    steps
+
+(* {2 Coverage-guided schedule search} *)
+
+type search_config = {
+  s_seed : int;
+  s_rounds : int;
+  s_population : int;
+  s_mutants : int;
+  s_walks : int;  (** swarm walks per candidate evaluation *)
+  s_depth : int;  (** step cap per walk *)
+  s_fault_budget : int;  (** [f] for mutation validity *)
+}
+
+let search_config ?(rounds = 24) ?(population = 8) ?(mutants = 12)
+    ?(walks = 32) ?(depth = 96) ?(fault_budget = 1) ~seed () =
+  if rounds < 0 then invalid_arg "Checker.search_config: rounds < 0";
+  if population < 1 then invalid_arg "Checker.search_config: population < 1";
+  if mutants < 1 then invalid_arg "Checker.search_config: mutants < 1";
+  if walks < 1 then invalid_arg "Checker.search_config: walks < 1";
+  if depth < 1 then invalid_arg "Checker.search_config: depth < 1";
+  {
+    s_seed = seed;
+    s_rounds = rounds;
+    s_population = population;
+    s_mutants = mutants;
+    s_walks = walks;
+    s_depth = depth;
+    s_fault_budget = fault_budget;
   }
 
 module Make (P : Protocol_intf.S) = struct
@@ -460,65 +500,174 @@ module Make (P : Protocol_intf.S) = struct
     Engine.advance_clock w.engine (Engine.now w.engine +. 1.0);
     post_checks w
 
-  let state_digest w =
-    let fields = ref [] in
-    let push v = fields := v :: !fields in
-    for i = 0 to w.cfg.n - 1 do
-      (match w.nodes.(i) with
-      | Some node when not (Engine.is_down w.engine i) ->
-          push (Hash.to_int64 (P.state_hash node))
-      | _ -> push 0xdeadL);
-      push (Hash.to_int64 (P.wal_hash w.wals.(i)))
-    done;
+  (* Structured state vector — same content (and same digest, modulo the
+     identity permutation) as the old flat [state_digest], but exposing the
+     per-slot structure {!Symmetry.apply} needs to permute. *)
+  let vec_of_world w =
+    let n = w.cfg.n in
+    let nodes =
+      Array.init n (fun i ->
+          let s =
+            match w.nodes.(i) with
+            | Some node when not (Engine.is_down w.engine i) ->
+                Hash.to_int64 (P.state_hash node)
+            | _ -> 0xdeadL
+          in
+          (s, Hash.to_int64 (P.wal_hash w.wals.(i))))
+    in
     (* In-flight messages: per-channel content sequences, channels in fixed
        (dst, src) order. *)
-    Array.iter
-      (fun q ->
-        let contents =
-          Queue.fold
-            (fun acc e ->
-              if Engine.pending_live w.engine e.e_ev then e.e_digest :: acc
-              else acc)
-            [] q
-        in
-        push (Hash.to_int64 (Hash.of_fields (List.rev contents))))
-      w.channels;
+    let chans =
+      Array.map
+        (fun q ->
+          let contents =
+            Queue.fold
+              (fun acc e ->
+                if Engine.pending_live w.engine e.e_ev then e.e_digest :: acc
+                else acc)
+              [] q
+          in
+          Hash.to_int64 (Hash.of_fields (List.rev contents)))
+        w.channels
+    in
     (* Cross-channel arrival order per destination: the reorder window is a
        function of it, so state matching must distinguish it. *)
-    for dst = 0 to w.cfg.n - 1 do
-      let arrivals = ref [] in
-      for src = 0 to w.cfg.n - 1 do
-        Queue.iter
-          (fun e ->
-            if Engine.pending_live w.engine e.e_ev then arrivals := e :: !arrivals)
-          w.channels.((dst * w.cfg.n) + src)
-      done;
-      let order =
-        List.sort (fun a b -> compare a.e_seq b.e_seq) !arrivals
-        |> List.map (fun e -> Int64.of_int e.e_src)
-      in
-      push (Hash.to_int64 (Hash.of_fields order))
-    done;
+    let arrivals =
+      Array.init n (fun dst ->
+          let arr = ref [] in
+          for src = 0 to n - 1 do
+            Queue.iter
+              (fun e ->
+                if Engine.pending_live w.engine e.e_ev then arr := e :: !arr)
+              w.channels.((dst * n) + src)
+          done;
+          List.sort (fun a b -> compare a.e_seq b.e_seq) !arr
+          |> List.map (fun e -> e.e_src))
+    in
     (* Live timers per owner, by count: timers of one owner are mutually
        dependent and protocols re-arm rather than accumulate, so the count
        abstracts the set safely for the worlds we explore. *)
-    let counts = Array.make w.cfg.n 0 in
+    let timers = Array.make n 0 in
     List.iter
       (fun t ->
         if (not t.t_fired) && Engine.pending_live w.engine t.t_ev then
           let o = if t.t_owner < 0 then 0 else t.t_owner in
-          counts.(o) <- counts.(o) + 1)
+          timers.(o) <- timers.(o) + 1)
       w.timers;
-    Array.iter (fun c -> push (Int64.of_int c)) counts;
-    push (Int64.of_int w.fault_idx);
-    Array.iter (fun c -> push (Int64.of_int c)) w.timers_fired;
-    Hash.to_int64 (Hash.of_fields (List.rev !fields))
+    {
+      Symmetry.sv_n = n;
+      sv_nodes = nodes;
+      sv_chans = chans;
+      sv_arrivals = arrivals;
+      sv_timers = timers;
+      sv_fired = Array.copy w.timers_fired;
+      sv_fault_idx = w.fault_idx;
+    }
+
+  (* The permutation group for canonicalization, or [None] when symmetry is
+     off or the movable set is too small to buy anything.  Fixed nodes:
+     every leader of an explored view (by index, courtesy of round-robin),
+     equivocators, and any node the fault schedule names. *)
+  let group_of_cfg cfg =
+    if not cfg.symmetry then None
+    else
+      let fixed = cfg.equivocators @ fault_fixed cfg.faults in
+      match Symmetry.movable ~n:cfg.n ~view_bound:cfg.view_bound ~fixed with
+      | [] | [ _ ] -> None
+      | movable -> Some (Symmetry.group ~n:cfg.n movable)
+
+  let state_digest ~group w =
+    let v = vec_of_world w in
+    match group with
+    | None -> Symmetry.digest v
+    | Some grp -> Symmetry.canonical grp v
 
   let max_view w =
     Array.fold_left
       (fun acc node ->
         match node with Some n -> max acc (P.current_view n) | None -> acc)
       0 w.nodes
+
+  (* {2 Livelock certification}
+
+     A commit-free state with no enabled action can be stuck for two very
+     different reasons: the protocol is genuinely wedged (no finite amount
+     of timing out ever moves it — a liveness bug), or the finite
+     [timer_budget] ran out one expiry short of recovery (an artifact of
+     the bound).  The probe distinguishes them: grant one budget-free timer
+     round — fire every live pending timer once, in canonical order,
+     draining deliveries deterministically after each — and compare state
+     digests (timer-budget bookkeeping zeroed) before and after.  An
+     unchanged digest certifies a fixpoint: expiries only re-send
+     information every peer already has, so every future round repeats this
+     one forever.  A changed digest means timeouts still make progress and
+     the stall was a budget artifact.
+
+     Only claimed for quiet worlds — schedule fully applied, no partition,
+     all nodes live — so the fixpoint really does describe the infinite
+     suffix. *)
+
+  let post_schedule_clean w =
+    w.fault_idx >= List.length w.cfg.faults
+    && w.partition = None
+    && Array.for_all Option.is_some w.nodes
+    &&
+    let live = ref true in
+    for i = 0 to w.cfg.n - 1 do
+      if Engine.is_down w.engine i then live := false
+    done;
+    !live
+
+  exception Probe_diverged
+
+  (* Deliver every deliverable message, always taking the canonically first
+     one ([enabled] sorts deliveries ahead of timers and faults).  [fuel]
+     bounds the drain: a cascade that does not quiesce (e.g. the block
+     synchronizer re-requesting as the probe's clock ticks) is by
+     definition not a fixpoint, so the certification is abandoned. *)
+  let rec deliver_all ~fuel w =
+    match enabled w with
+    | A_msg e :: _ ->
+        if !fuel <= 0 then raise Probe_diverged;
+        decr fuel;
+        exec_action w (A_msg e);
+        deliver_all ~fuel w
+    | _ -> ()
+
+  (* Digest with the per-era timer-firing counters zeroed: the probe
+     compares protocol-and-network state, not budget bookkeeping. *)
+  let probe_digest w =
+    let v = vec_of_world w in
+    Symmetry.digest { v with Symmetry.sv_fired = Array.make w.cfg.n 0 }
+
+  let livelock_probe w =
+    let viol0 = List.length w.violations in
+    let d0 = probe_digest w in
+    (* One budget-free timer round costs at most n firings; a healthy drain
+       after each is O(messages in flight) = O(n^2) per hop with a short
+       chain of reactive hops.  Anything past this bound is a protocol
+       making real (if unbounded) progress, not a fixpoint. *)
+    let fuel = ref (1024 * w.cfg.n * w.cfg.n) in
+    try
+      deliver_all ~fuel w;
+      let round =
+        List.filter
+          (fun t -> (not t.t_fired) && Engine.pending_live w.engine t.t_ev)
+          w.timers
+        |> List.sort (fun a b -> compare (a.t_owner, a.t_idx) (b.t_owner, b.t_idx))
+      in
+      List.iter
+        (fun t ->
+          (* Re-check: an earlier expiry in the round may have re-armed or
+             invalidated this one. *)
+          if (not t.t_fired) && Engine.pending_live w.engine t.t_ev then begin
+            exec_action w (A_timer t);
+            deliver_all ~fuel w
+          end)
+        round;
+      let d1 = probe_digest w in
+      List.length w.violations = viol0 && Int64.equal d0 d1
+    with Probe_diverged -> false
 
   (* {2 Path replay} *)
 
@@ -556,19 +705,30 @@ module Make (P : Protocol_intf.S) = struct
     r_violations : (Mc_report.violation_kind * string) list;
     r_committed : int;
     r_view_bound_hit : bool;
+    r_livelock : bool;  (** commit-free terminal state with a certified fixpoint *)
   }
 
-  let probe_path cfg path =
+  let probe_path ~group cfg path =
     let w = run_path cfg path in
     let acts = enabled w in
+    let digest = state_digest ~group w in
+    let violations = List.rev w.violations in
+    let committed = w.commits_total in
+    let view_hit = max_view w > cfg.view_bound in
+    let livelock =
+      (* Certify last: the probe mutates the world. *)
+      acts = [] && committed = 0 && violations = []
+      && post_schedule_clean w && livelock_probe w
+    in
     {
-      r_digest = state_digest w;
+      r_digest = digest;
       r_enabled =
         Array.of_list
           (List.map (fun a -> (action_key a, action_loc a, action_global_dep a)) acts);
-      r_violations = List.rev w.violations;
-      r_committed = w.commits_total;
-      r_view_bound_hit = max_view w > cfg.view_bound;
+      r_violations = violations;
+      r_committed = committed;
+      r_view_bound_hit = view_hit;
+      r_livelock = livelock;
     }
 
   (* {2 Exploration} *)
@@ -580,13 +740,16 @@ module Make (P : Protocol_intf.S) = struct
 
   let sleep_keys sleep = List.map (fun (k, _, _) -> k) sleep
 
-  let check ?progress ?(jobs = 1) cfg =
+  let check ?progress ?stop ?(jobs = 1) cfg =
+    let group = group_of_cfg cfg in
     let visited : (int64, (int64 * int * bool) list) Hashtbl.t =
       Hashtbl.create 4096
     in
     let states_visited = ref 0 in
     let states_matched = ref 0 in
+    let states_reexpanded = ref 0 in
     let transitions = ref 0 in
+    let branches = ref 0 in
     let sleep_skips = ref 0 in
     let leaves = ref 0 in
     let max_depth_seen = ref 0 in
@@ -597,16 +760,26 @@ module Make (P : Protocol_intf.S) = struct
     let leaves_without_commit = ref 0 in
     let deadlocks = ref 0 in
     let deadlock_witness = ref None in
+    let livelocks = ref 0 in
+    let livelock_witness = ref None in
     let frontier = ref [ { f_path = []; f_sleep = [] } ] in
     let depth = ref 0 in
     while !frontier <> [] do
+      (match stop with
+      | Some f when f () ->
+          (* Deadline: report what was explored, flagged non-exhaustive. *)
+          exhausted := false;
+          frontier := []
+      | _ -> ());
       max_depth_seen := max !max_depth_seen !depth;
       (match progress with
       | None -> ()
       | Some f ->
           f ~depth:!depth ~frontier:(List.length !frontier) ~states:!states_visited);
       let probes =
-        Bft_parallel.Parallel.map ~jobs (fun e -> probe_path cfg e.f_path) !frontier
+        Bft_parallel.Parallel.map ~jobs
+          (fun e -> probe_path ~group cfg e.f_path)
+          !frontier
       in
       let next = ref [] in
       List.iter2
@@ -628,9 +801,11 @@ module Make (P : Protocol_intf.S) = struct
                   { Mc_report.kind; detail; path = entry.f_path } :: !violations)
               probe.r_violations;
             (* A violating state is a leaf; make later hits on its digest
-               prune unconditionally. *)
+               prune unconditionally.  A revisit counts as matched, not as a
+               fresh state — the digest was already in the table. *)
+            if Hashtbl.mem visited probe.r_digest then incr states_matched
+            else incr states_visited;
             Hashtbl.replace visited probe.r_digest [];
-            incr states_visited;
             leaf_at false
           end
           else begin
@@ -652,6 +827,7 @@ module Make (P : Protocol_intf.S) = struct
                 | Some stored ->
                     (* Revisit with a smaller sleep set: re-expand from the
                        intersection so nothing stays unexplored. *)
+                    incr states_reexpanded;
                     let stored_keys = sleep_keys stored in
                     List.filter
                       (fun (k, _, _) -> List.mem k stored_keys)
@@ -663,7 +839,12 @@ module Make (P : Protocol_intf.S) = struct
                 if probe.r_committed = 0 then begin
                   incr deadlocks;
                   if !deadlock_witness = None then
-                    deadlock_witness := Some entry.f_path
+                    deadlock_witness := Some entry.f_path;
+                  if probe.r_livelock then begin
+                    incr livelocks;
+                    if !livelock_witness = None then
+                      livelock_witness := Some entry.f_path
+                  end
                 end
               end
               else if probe.r_view_bound_hit then leaf_at true
@@ -685,6 +866,7 @@ module Make (P : Protocol_intf.S) = struct
                             (fun (_, l, g) -> (not g) && l <> loc)
                             !sleep
                       in
+                      incr branches;
                       next :=
                         { f_path = entry.f_path @ [ j ]; f_sleep = child_sleep }
                         :: !next
@@ -703,7 +885,9 @@ module Make (P : Protocol_intf.S) = struct
         {
           Mc_report.states_visited = !states_visited;
           states_matched = !states_matched;
+          states_reexpanded = !states_reexpanded;
           transitions = !transitions;
+          branches = !branches;
           sleep_skips = !sleep_skips;
           leaves = !leaves;
           max_depth_seen = !max_depth_seen;
@@ -715,6 +899,260 @@ module Make (P : Protocol_intf.S) = struct
       leaves_without_commit = !leaves_without_commit;
       deadlocks = !deadlocks;
       deadlock_witness = !deadlock_witness;
+      livelocks = !livelocks;
+      livelock_witness = !livelock_witness;
+    }
+
+  (* {2 Swarm mode — sleep-set-respecting random walks}
+
+     Each walk samples one maximal interleaving: at every state it draws
+     uniformly among the enabled actions not in its sleep set, recording the
+     index into the full canonically-sorted enabled list so walk paths
+     replay through the exact machinery exhaustive counterexamples use.
+     Sleep sets evolve exactly as in the exhaustive expansion, so a walk
+     never burns steps on an interleaving some sibling choice already
+     covers.  Per-walk RNGs are derived by hashing (seed, walk index) —
+     never by offsetting the seed — so distinct walks (and distinct seeds)
+     cannot alias, and results are independent of [jobs]. *)
+
+  type walk = {
+    wk_endpoint : Mc_report.endpoint;
+    wk_path : int list;
+    wk_steps : int;
+    wk_commits : int;
+    wk_digests : int64 list;  (** newest first; the initial state included *)
+    wk_violation : (Mc_report.violation_kind * string) option;
+    wk_tail : int;  (** commit-free steps at the end of the walk *)
+  }
+
+  let walk_seed seed i =
+    Int64.to_int
+      (Int64.shift_right_logical
+         (Hash.to_int64 (Hash.of_fields [ Int64.of_int seed; Int64.of_int i ]))
+         1)
+
+  let run_walk ~group ~depth ~seed cfg index =
+    let rng = Bft_sim.Rng.create (walk_seed seed index) in
+    let w = make_world cfg in
+    let digests = ref [ state_digest ~group w ] in
+    let path = ref [] in
+    let sleep = ref [] in
+    let steps = ref 0 in
+    let last_commit = ref 0 in
+    let violation = ref None in
+    let endpoint = ref None in
+    while !endpoint = None do
+      let acts = enabled w in
+      if acts = [] then
+        endpoint :=
+          Some
+            (if
+               w.commits_total = 0 && w.violations = []
+               && post_schedule_clean w && livelock_probe w
+             then Mc_report.Ep_livelock
+             else Mc_report.Ep_no_action)
+      else if max_view w > cfg.view_bound then
+        endpoint := Some Mc_report.Ep_view_bound
+      else if !steps >= depth then endpoint := Some Mc_report.Ep_depth
+      else begin
+        let arr = Array.of_list acts in
+        let keyed =
+          Array.map
+            (fun a -> (action_key a, action_loc a, action_global_dep a))
+            arr
+        in
+        let avail =
+          List.filter
+            (fun j ->
+              let k, _, _ = keyed.(j) in
+              not (List.exists (fun (k', _, _) -> Int64.equal k k') !sleep))
+            (List.init (Array.length arr) Fun.id)
+        in
+        (* All enabled actions asleep: the trace so far is redundant with
+           some earlier-ordered interleaving — but that ordering is not
+           being explored by anyone, so a walk that stopped here (as a pure
+           sleep-set walk would) wastes nearly its whole depth budget.
+           Wake everything and keep sampling. *)
+        let avail =
+          match avail with
+          | [] ->
+              sleep := [];
+              List.init (Array.length arr) Fun.id
+          | _ -> avail
+        in
+        begin
+            let j = List.nth avail (Bft_sim.Rng.int rng (List.length avail)) in
+            let _, loc, glob = keyed.(j) in
+            (* Siblings ordered before the choice join the inherited sleep
+               set, exactly as the exhaustive expansion would have it when
+               exploring branch [j]. *)
+            let pre = ref !sleep in
+            for k = j - 1 downto 0 do
+              pre := keyed.(k) :: !pre
+            done;
+            sleep :=
+              (if glob then []
+               else List.filter (fun (_, l, g) -> (not g) && l <> loc) !pre);
+            let before = w.commits_total in
+            exec_action w arr.(j);
+            incr steps;
+            path := j :: !path;
+            if w.commits_total > before then last_commit := !steps;
+            digests := state_digest ~group w :: !digests;
+            if w.violations <> [] then begin
+              (match List.rev w.violations with
+              | v :: _ -> violation := Some v
+              | [] -> ());
+              endpoint := Some Mc_report.Ep_violation
+            end
+        end
+      end
+    done;
+    {
+      wk_endpoint = Option.get !endpoint;
+      wk_path = List.rev !path;
+      wk_steps = !steps;
+      wk_commits = w.commits_total;
+      wk_digests = !digests;
+      wk_violation = !violation;
+      wk_tail = !steps - !last_commit;
+    }
+
+  let run_walks ?(jobs = 1) ~walks ~depth ~seed cfg =
+    let group = group_of_cfg cfg in
+    Bft_parallel.Parallel.map ~jobs
+      (fun i -> run_walk ~group ~depth ~seed cfg i)
+      (List.init walks Fun.id)
+
+  let endpoint_rank = function
+    | Mc_report.Ep_violation -> 0
+    | Mc_report.Ep_livelock -> 1
+    | Mc_report.Ep_no_action -> 2
+    | Mc_report.Ep_view_bound -> 3
+    | Mc_report.Ep_depth -> 4
+    | Mc_report.Ep_sleep_blocked -> 5
+
+  let swarm ?jobs ~walks ~depth ~seed cfg =
+    let ws = run_walks ?jobs ~walks ~depth ~seed cfg in
+    let distinct = Hashtbl.create 4096 in
+    let steps = ref 0 in
+    let max_committed = ref 0 in
+    let commitless = ref 0 in
+    let max_tail = ref 0 in
+    let violations = ref [] in
+    let livelock = ref None in
+    let counts = Hashtbl.create 7 in
+    let fingerprint = ref [] in
+    List.iter
+      (fun wk ->
+        steps := !steps + wk.wk_steps;
+        max_committed := max !max_committed wk.wk_commits;
+        if wk.wk_commits = 0 then incr commitless;
+        max_tail := max !max_tail wk.wk_tail;
+        List.iter (fun d -> Hashtbl.replace distinct d ()) wk.wk_digests;
+        Hashtbl.replace counts wk.wk_endpoint
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts wk.wk_endpoint));
+        (match (wk.wk_endpoint, !livelock) with
+        | Mc_report.Ep_livelock, None -> livelock := Some wk.wk_path
+        | _ -> ());
+        (match wk.wk_violation with
+        | Some (kind, detail) ->
+            violations :=
+              { Mc_report.kind; detail; path = wk.wk_path } :: !violations
+        | None -> ());
+        (* Order-sensitive: any divergence in any walk's endpoint, length,
+           choices or final state changes the fingerprint, which is what the
+           determinism tests pin down across [jobs] settings. *)
+        fingerprint :=
+          Hash.to_int64
+            (Hash.of_fields
+               (Int64.of_int (endpoint_rank wk.wk_endpoint)
+               :: Int64.of_int wk.wk_steps
+               :: Int64.of_int wk.wk_commits
+               :: (match wk.wk_digests with d :: _ -> d | [] -> 0L)
+               :: List.map Int64.of_int wk.wk_path))
+          :: !fingerprint)
+      ws;
+    let endpoints =
+      List.map
+        (fun ep -> (ep, Option.value ~default:0 (Hashtbl.find_opt counts ep)))
+        [
+          Mc_report.Ep_violation;
+          Ep_livelock;
+          Ep_no_action;
+          Ep_view_bound;
+          Ep_depth;
+          Ep_sleep_blocked;
+        ]
+    in
+    {
+      Mc_report.sw_walks = List.length ws;
+      sw_steps = !steps;
+      sw_distinct = Hashtbl.length distinct;
+      sw_endpoints = endpoints;
+      sw_max_committed = !max_committed;
+      sw_commitless = !commitless;
+      sw_max_tail = !max_tail;
+      sw_violations = List.rev !violations;
+      sw_livelock_witness = !livelock;
+      sw_fingerprint = Hash.to_int64 (Hash.of_fields (List.rev !fingerprint));
+    }
+
+  (* {2 Coverage-guided schedule search} *)
+
+  let outcome_of_walks ws =
+    let digests = List.concat_map (fun wk -> wk.wk_digests) ws in
+    let near = List.length (List.filter (fun wk -> wk.wk_commits = 0) ws) in
+    let cx =
+      List.find_map
+        (fun wk ->
+          match wk.wk_endpoint with
+          | Mc_report.Ep_livelock -> Some (Mc_report.Cx_livelock wk.wk_path)
+          | Mc_report.Ep_violation -> (
+              match wk.wk_violation with
+              | Some (kind, detail) ->
+                  Some
+                    (Mc_report.Cx_violation
+                       { Mc_report.kind; detail; path = wk.wk_path })
+              | None -> None)
+          | _ -> None)
+        ws
+    in
+    { Explorer.o_digests = digests; o_near_misses = near; o_counterexample = cx }
+
+  let schedule_search ?(jobs = 1) xcfg (cfg : config) =
+    let n = cfg.n in
+    let eval_count = ref 0 in
+    let eval sched =
+      let k = !eval_count in
+      incr eval_count;
+      match Mc_schedule.compile ~n sched with
+      | Error _ ->
+          (* Mutants are pre-validated; an uncompilable seed just scores 0. *)
+          { Explorer.o_digests = []; o_near_misses = 0; o_counterexample = None }
+      | Ok steps ->
+          let cfg = { cfg with faults = steps } in
+          (* Per-candidate swarm seed, derived like per-walk seeds so
+             candidate evaluations never alias each other. *)
+          let seed = walk_seed xcfg.s_seed (1_000_000 + k) in
+          outcome_of_walks
+            (run_walks ~jobs ~walks:xcfg.s_walks ~depth:xcfg.s_depth ~seed cfg)
+    in
+    let r =
+      Explorer.search ~seed:xcfg.s_seed ~rounds:xcfg.s_rounds
+        ~population:xcfg.s_population ~mutants:xcfg.s_mutants
+        ~init:(Bft_faults.Mutate.seeds ~n)
+        ~mutate:(Bft_faults.Mutate.mutate ~n ~f:xcfg.s_fault_budget)
+        ~eval
+    in
+    let show = Bft_faults.Fault_schedule.to_string in
+    {
+      Mc_report.se_rounds = r.Explorer.x_rounds;
+      se_evals = r.Explorer.x_evals;
+      se_distinct = r.Explorer.x_distinct;
+      se_best = List.map (fun (s, fit) -> (show s, fit)) r.Explorer.x_best;
+      se_counterexample =
+        Option.map (fun (s, c) -> (show s, c)) r.Explorer.x_counterexample;
     }
 
   (* {2 Counterexample replay} *)
@@ -750,13 +1188,29 @@ module Commit_mc = Make (Moonshot.Pipelined_node.Commit_protocol)
 module Jolteon_mc = Make (Jolteon.Jolteon_node.Protocol)
 module Hotstuff_mc = Make (Hotstuff.Hotstuff_node.Protocol)
 
-let check ?jobs kind cfg =
+let check ?stop ?jobs kind cfg =
   match (kind : Kind.t) with
-  | Simple_moonshot -> Simple_mc.check ?jobs cfg
-  | Pipelined_moonshot -> Pipelined_mc.check ?jobs cfg
-  | Commit_moonshot -> Commit_mc.check ?jobs cfg
-  | Jolteon -> Jolteon_mc.check ?jobs cfg
-  | Hotstuff -> Hotstuff_mc.check ?jobs cfg
+  | Simple_moonshot -> Simple_mc.check ?stop ?jobs cfg
+  | Pipelined_moonshot -> Pipelined_mc.check ?stop ?jobs cfg
+  | Commit_moonshot -> Commit_mc.check ?stop ?jobs cfg
+  | Jolteon -> Jolteon_mc.check ?stop ?jobs cfg
+  | Hotstuff -> Hotstuff_mc.check ?stop ?jobs cfg
+
+let swarm ?jobs kind ~walks ~depth ~seed cfg =
+  match (kind : Kind.t) with
+  | Simple_moonshot -> Simple_mc.swarm ?jobs ~walks ~depth ~seed cfg
+  | Pipelined_moonshot -> Pipelined_mc.swarm ?jobs ~walks ~depth ~seed cfg
+  | Commit_moonshot -> Commit_mc.swarm ?jobs ~walks ~depth ~seed cfg
+  | Jolteon -> Jolteon_mc.swarm ?jobs ~walks ~depth ~seed cfg
+  | Hotstuff -> Hotstuff_mc.swarm ?jobs ~walks ~depth ~seed cfg
+
+let schedule_search ?jobs kind xcfg cfg =
+  match (kind : Kind.t) with
+  | Simple_moonshot -> Simple_mc.schedule_search ?jobs xcfg cfg
+  | Pipelined_moonshot -> Pipelined_mc.schedule_search ?jobs xcfg cfg
+  | Commit_moonshot -> Commit_mc.schedule_search ?jobs xcfg cfg
+  | Jolteon -> Jolteon_mc.schedule_search ?jobs xcfg cfg
+  | Hotstuff -> Hotstuff_mc.schedule_search ?jobs xcfg cfg
 
 let replay kind cfg path =
   match (kind : Kind.t) with

@@ -1,6 +1,8 @@
 (** Bounded model checker: exhaustive exploration of message-delivery and
     timer-firing orderings for small worlds, over the exact engine and node
-    wiring the experiments use.
+    wiring the experiments use — plus two sampling modes that scale past
+    what exhaustion can reach (swarm walks and coverage-guided schedule
+    search).
 
     The checker installs the engine's capture hook ({!Bft_sim.Engine.set_capture}),
     so every network delivery, timer expiry and scheduled thunk becomes an
@@ -19,7 +21,14 @@
       sleep set);
     - {e sleep sets} with a DPOR-lite independence relation: deliveries to
       different destinations commute; timer firings and fault steps are
-      globally dependent (timer enabledness is a function of every inbox).
+      globally dependent (timer enabledness is a function of every inbox);
+    - {e validator symmetry} (opt-in, [symmetry = true]): digests are
+      canonicalized under the permutation group of interchangeable
+      validators ({!Symmetry}) — the nodes that lead no explored view and
+      that neither the equivocator list nor the fault schedule names.
+      Round-robin leadership pins nodes [0 .. view_bound - 1], so the
+      reduction pays off for worlds with at least two spare followers
+      ([n >= view_bound + 2]).
 
     Model assumptions (documented, deliberate):
     - each [(src, dst)] link is a FIFO channel — delivery order is explored
@@ -44,7 +53,18 @@
     ({!Bft_types.Protocol_intf.S.wal_consistent}), and — at capture time —
     that no honest node ever signs two different votes for one
     [(view, slot)].  Liveness is reported, not asserted: the report carries
-    the best commit witness and the number of commit-free leaves. *)
+    the best commit witness, the number of commit-free leaves, and — new —
+    the subset of commit-free deadlocks that are {e certified livelocks}.
+
+    {b Livelock certification.}  A commit-free terminal state (schedule
+    fully applied, no partition, everyone live, no enabled action) is
+    probed with one budget-free timer round: fire every live pending timer
+    once in canonical order, drain deliveries deterministically after each,
+    and compare state digests (timer-budget bookkeeping excluded) before
+    and after.  An unchanged digest is a fixpoint certificate — every
+    future timeout round repeats this one, so no amount of extra budget
+    ever makes progress (a genuine liveness bug).  A changed digest means
+    the stall was an artifact of the finite [timer_budget]. *)
 
 type config = {
   n : int;
@@ -69,11 +89,14 @@ type config = {
       (** created with [~equivocate:true] and exempt from double-vote checks *)
   faults : Mc_schedule.step list;
   payload_bytes : int;
+  symmetry : bool;
+      (** canonicalize state digests under the validator-symmetry group;
+          sound (see {!Symmetry}) and worthwhile once [n >= view_bound + 2] *)
 }
 
 (** Smart constructor with defaults ([delta]=10, [max_depth]=128,
-    [timer_budget]=4, [reorder_window]=1, no faults, no equivocators);
-    validates ranges. *)
+    [timer_budget]=4, [reorder_window]=1, no faults, no equivocators,
+    [symmetry]=false); validates ranges. *)
 val config :
   ?delta:float ->
   ?max_depth:int ->
@@ -82,22 +105,86 @@ val config :
   ?equivocators:int list ->
   ?faults:Mc_schedule.step list ->
   ?payload_bytes:int ->
+  ?symmetry:bool ->
   n:int ->
   view_bound:int ->
   unit ->
   config
+
+(** Parameters of one coverage-guided schedule search: an {!Explorer} loop
+    over {!Bft_faults.Mutate} candidates, each scored by a swarm of
+    [s_walks] walks of depth [s_depth] under the candidate's compiled
+    schedule.  Deterministic in [s_seed]. *)
+type search_config = {
+  s_seed : int;
+  s_rounds : int;
+  s_population : int;
+  s_mutants : int;
+  s_walks : int;  (** swarm walks per candidate evaluation *)
+  s_depth : int;  (** step cap per walk *)
+  s_fault_budget : int;  (** [f] for mutation validity *)
+}
+
+(** Defaults: 24 rounds, population 8, 12 mutants per round, 32 walks of
+    depth 96 per evaluation, fault budget 1. *)
+val search_config :
+  ?rounds:int ->
+  ?population:int ->
+  ?mutants:int ->
+  ?walks:int ->
+  ?depth:int ->
+  ?fault_budget:int ->
+  seed:int ->
+  unit ->
+  search_config
 
 module Make (P : Bft_types.Protocol_intf.S) : sig
   (** [check ~jobs cfg] explores the world exhaustively within bounds and
       returns the report.  Deterministic: state counts, violations and
       witness paths are identical for every [jobs] value.  [progress], when
       given, is called once per BFS layer (frontier size, distinct states
-      so far) — used by the bench driver for live output. *)
+      so far) — used by the bench driver for live output.  [stop], polled
+      once per layer, aborts the search when it returns [true] (the report
+      is flagged non-exhaustive); used for wall-clock budgets without
+      linking this library against [unix]. *)
   val check :
     ?progress:(depth:int -> frontier:int -> states:int -> unit) ->
+    ?stop:(unit -> bool) ->
     ?jobs:int ->
     config ->
     Mc_report.t
+
+  (** [swarm ~walks ~depth ~seed cfg] samples [walks] maximal
+      interleavings with sleep-set-respecting random walks: at each state,
+      draw uniformly among enabled actions not in the walk's sleep set
+      (evolved exactly as in the exhaustive expansion, so a walk never
+      spends steps on an interleaving a sibling branch covers).  Paths are
+      indices into the full canonical enabled list, so any walk — in
+      particular a violation's or livelock's — replays through {!replay} /
+      {!describe}.  Per-walk RNGs are derived by {e hashing} (seed, walk
+      index), so walks never alias and reports are byte-identical for any
+      [jobs] value; the report's [sw_fingerprint] pins every walk's full
+      trajectory for determinism tests.  The estimated coverage is
+      [sw_distinct / sw_walks] — distinct canonical state digests per
+      walk. *)
+  val swarm :
+    ?jobs:int ->
+    walks:int ->
+    depth:int ->
+    seed:int ->
+    config ->
+    Mc_report.swarm
+
+  (** [schedule_search xcfg cfg] runs the coverage-guided mutation loop
+      over fault schedules: seeds from {!Bft_faults.Mutate.seeds}, mutants
+      bred with {!Bft_faults.Mutate.mutate}, each candidate scored by a
+      swarm under its compiled schedule (novel canonical digests + weighted
+      commit-free near-misses), stopping at the first counterexample — a
+      certified livelock or a safety violation.  [cfg.faults] is ignored
+      (each candidate supplies its own schedule); deterministic in
+      [xcfg.s_seed] for any [jobs]. *)
+  val schedule_search :
+    ?jobs:int -> search_config -> config -> Mc_report.search
 
   (** Replay a path (e.g. a violation's) deterministically, collecting a
       full {!Bft_obs.Trace.t} — deliveries, node probe events, commits,
@@ -111,7 +198,27 @@ end
 (** {2 Protocol dispatch} — the five protocols of the experiment suite. *)
 
 val check :
-  ?jobs:int -> Bft_runtime.Protocol_kind.t -> config -> Mc_report.t
+  ?stop:(unit -> bool) ->
+  ?jobs:int ->
+  Bft_runtime.Protocol_kind.t ->
+  config ->
+  Mc_report.t
+
+val swarm :
+  ?jobs:int ->
+  Bft_runtime.Protocol_kind.t ->
+  walks:int ->
+  depth:int ->
+  seed:int ->
+  config ->
+  Mc_report.swarm
+
+val schedule_search :
+  ?jobs:int ->
+  Bft_runtime.Protocol_kind.t ->
+  search_config ->
+  config ->
+  Mc_report.search
 
 val replay :
   Bft_runtime.Protocol_kind.t -> config -> int list -> Bft_obs.Trace.t

@@ -1,0 +1,52 @@
+(* Shared state of a coverage-guided search: the global set of canonical
+   digests any evaluation has ever reached (novelty is always measured
+   against everything seen, so a schedule the judge already rejected cannot
+   look fresh again next round), and a bounded population of the
+   fittest candidates.  Everything is deterministic: ties in fitness keep
+   insertion order, so identical seeds replay identical searches. *)
+
+type 'a entry = {
+  en_candidate : 'a;
+  en_fitness : float;
+  en_order : int;  (* insertion sequence, the deterministic tie-break *)
+}
+
+type 'a t = {
+  seen : (int64, unit) Hashtbl.t;
+  mutable pop : 'a entry list;  (* best first, at most [cap] *)
+  mutable next_order : int;
+  cap : int;
+}
+
+let create ~cap =
+  if cap < 1 then invalid_arg "Corpus.create: cap < 1";
+  { seen = Hashtbl.create 4096; pop = []; next_order = 0; cap }
+
+let note t digests =
+  List.fold_left
+    (fun fresh d ->
+      if Hashtbl.mem t.seen d then fresh
+      else begin
+        Hashtbl.add t.seen d ();
+        fresh + 1
+      end)
+    0 digests
+
+let distinct t = Hashtbl.length t.seen
+
+let add t candidate fitness =
+  let e = { en_candidate = candidate; en_fitness = fitness; en_order = t.next_order } in
+  t.next_order <- t.next_order + 1;
+  let better a b =
+    match Float.compare b.en_fitness a.en_fitness with
+    | 0 -> compare a.en_order b.en_order
+    | c -> c
+  in
+  let rec insert = function
+    | [] -> [ e ]
+    | x :: rest -> if better e x < 0 then e :: x :: rest else x :: insert rest
+  in
+  let pop = insert t.pop in
+  t.pop <- List.filteri (fun i _ -> i < t.cap) pop
+
+let population t = List.map (fun e -> (e.en_candidate, e.en_fitness)) t.pop

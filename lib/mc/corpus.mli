@@ -1,0 +1,21 @@
+(** Deterministic corpus for coverage-guided search: the global set of
+    canonical state digests ever reached, plus a bounded best-first
+    population of candidates.  Fitness ties break by insertion order, so a
+    seeded search replays exactly. *)
+
+type 'a t
+
+val create : cap:int -> 'a t
+
+(** [note t digests] records the digests and returns how many were new —
+    the novelty component of a candidate's fitness. *)
+val note : 'a t -> int64 list -> int
+
+(** Total distinct digests recorded so far. *)
+val distinct : 'a t -> int
+
+(** Insert a scored candidate, keeping only the [cap] fittest. *)
+val add : 'a t -> 'a -> float -> unit
+
+(** Current population, best first. *)
+val population : 'a t -> ('a * float) list

@@ -1,0 +1,73 @@
+(* Generic mutation loop for coverage-guided schedule search.  The caller
+   supplies the candidate type (fault schedules, in practice), a seeded
+   mutator and an evaluator (a swarm run under the candidate's compiled
+   schedule); the loop keeps a corpus of the fittest candidates, breeds
+   mutants from them, and stops at the first counterexample.
+
+   Fitness = newly-seen canonical digests (novelty against everything any
+   evaluation reached) + [near_weight] * liveness near-misses (commit-free
+   walks under the candidate).  Novelty drives the search toward schedules
+   that put the world into states no other schedule reached; near-misses
+   pull it toward the stalls that precede a genuine livelock.
+
+   Deterministic by construction: one RNG seeded by the caller drives
+   parent choice and mutation, candidates are evaluated sequentially
+   (each evaluation may itself fan out over domains), and corpus ties
+   break by insertion order. *)
+
+let near_weight = 48.
+
+type outcome = {
+  o_digests : int64 list;  (** canonical digests the evaluation reached *)
+  o_near_misses : int;  (** liveness near-misses (commit-free walks) *)
+  o_counterexample : Mc_report.counterexample option;
+}
+
+type 'a result = {
+  x_rounds : int;
+  x_evals : int;
+  x_distinct : int;
+  x_best : ('a * float) list;
+  x_counterexample : ('a * Mc_report.counterexample) option;
+}
+
+let search ~seed ~rounds ~population ~mutants ~init ~mutate ~eval =
+  let rng = Bft_sim.Rng.create seed in
+  let corpus = Corpus.create ~cap:population in
+  let evals = ref 0 in
+  let cx = ref None in
+  let rounds_run = ref 0 in
+  let consider candidate =
+    if !cx = None then begin
+      incr evals;
+      let o = eval candidate in
+      let fresh = Corpus.note corpus o.o_digests in
+      let fitness =
+        float_of_int fresh +. (near_weight *. float_of_int o.o_near_misses)
+      in
+      Corpus.add corpus candidate fitness;
+      match o.o_counterexample with
+      | Some c -> cx := Some (candidate, c)
+      | None -> ()
+    end
+  in
+  List.iter consider init;
+  (try
+     for _ = 1 to rounds do
+       if !cx <> None then raise Exit;
+       let parents = Array.of_list (List.map fst (Corpus.population corpus)) in
+       if Array.length parents = 0 then raise Exit;
+       incr rounds_run;
+       for _ = 1 to mutants do
+         let parent = parents.(Bft_sim.Rng.int rng (Array.length parents)) in
+         consider (mutate rng parent)
+       done
+     done
+   with Exit -> ());
+  {
+    x_rounds = !rounds_run;
+    x_evals = !evals;
+    x_distinct = Corpus.distinct corpus;
+    x_best = Corpus.population corpus;
+    x_counterexample = !cx;
+  }

@@ -1,6 +1,7 @@
 (** Model-checking results: violations with their reproducing paths,
     exploration statistics and liveness accounting.  Protocol-agnostic —
-    shared by every {!Checker.Make} instantiation. *)
+    shared by every {!Checker.Make} instantiation and by the swarm and
+    schedule-search exploration modes. *)
 
 type violation_kind =
   | Conflicting_commits
@@ -21,15 +22,21 @@ type violation = {
 }
 
 type stats = {
-  states_visited : int;  (** distinct state digests *)
-  states_matched : int;  (** frontier entries pruned by a revisited digest *)
-  transitions : int;  (** executed frontier expansions *)
+  states_visited : int;  (** distinct (canonical) state digests *)
+  states_matched : int;  (** probes pruned by a revisited digest *)
+  states_reexpanded : int;
+      (** revisits that carried a strictly smaller sleep set and were
+          re-expanded (sound completion of the sleep-set prune) *)
+  transitions : int;  (** probes executed; [= visited + matched + reexpanded] *)
+  branches : int;
+      (** child paths actually enqueued; [transitions = branches + 1] once
+          exploration drains (every enqueued child is probed exactly once) *)
   sleep_skips : int;  (** enabled actions skipped by sleep sets *)
   leaves : int;
   max_depth_seen : int;
   exhausted : bool;
-      (** false iff some path was truncated by [max_depth] with actions
-          still enabled — the bound, not the world, ended exploration *)
+      (** false iff some path was truncated by [max_depth] — or the whole
+          run by a [stop] deadline — with actions still enabled *)
 }
 
 type t = {
@@ -41,17 +48,85 @@ type t = {
           witness within the view budget *)
   leaves_without_commit : int;  (** leaves whose world never committed *)
   deadlocks : int;
-      (** commit-free leaves at which {e no} action was enabled — genuine
-          stuck worlds, not bound artifacts.  Timer-budget exhaustion can
-          contribute; raise [timer_budget] to discriminate. *)
+      (** commit-free leaves at which {e no} action was enabled.  Timer
+          budget exhaustion can contribute; see [livelocks] for the
+          budget-independent subset. *)
   deadlock_witness : int list option;  (** first deadlock path (BFS order) *)
+  livelocks : int;
+      (** deadlocks certified as genuine: the fault schedule is fully
+          applied, no partition is open, every node is live, and granting
+          one extra timer round returns the state to itself (a fixpoint —
+          rebroadcasting forever cannot make progress).  A nonzero count
+          is a real liveness bug, not a bound artifact. *)
+  livelock_witness : int list option;
 }
 
-(** Fraction of potential work avoided: (matched + sleep skips) over
-    (transitions + matched + sleep skips). *)
-val pruning_ratio : stats -> float
+(** Fraction of probed states pruned by digest matching:
+    [states_matched / transitions]. *)
+val digest_prune_ratio : stats -> float
+
+(** Fraction of offered branches skipped by sleep sets:
+    [sleep_skips / (branches + sleep_skips)]. *)
+val sleep_prune_ratio : stats -> float
 
 val kind_name : violation_kind -> string
 val pp_path : Format.formatter -> int list -> unit
 val pp_violation : Format.formatter -> violation -> unit
 val pp : Format.formatter -> t -> unit
+
+(** {2 Swarm mode} *)
+
+type endpoint =
+  | Ep_violation  (** walk stopped at its first invariant violation *)
+  | Ep_livelock  (** commit-free stuck state with a fixpoint certificate *)
+  | Ep_no_action  (** no enabled action (budget exhaustion or normal end) *)
+  | Ep_view_bound
+  | Ep_depth
+  | Ep_sleep_blocked
+      (** every enabled action was asleep — the sampled branch of the
+          reduced tree is empty here, exactly as exhaustive DPOR would
+          skip it *)
+
+val endpoint_name : endpoint -> string
+
+type swarm = {
+  sw_walks : int;
+  sw_steps : int;  (** actions executed across all walks *)
+  sw_distinct : int;  (** distinct canonical digests across all walks *)
+  sw_endpoints : (endpoint * int) list;  (** all six, fixed order *)
+  sw_max_committed : int;
+  sw_commitless : int;  (** walks that never committed *)
+  sw_max_tail : int;  (** longest commit-free step tail at a walk's end *)
+  sw_violations : violation list;  (** first violation per violating walk *)
+  sw_livelock_witness : int list option;
+  sw_fingerprint : int64;
+      (** order-sensitive digest of every walk's (endpoint, path, final
+          state): two reports are the same exploration iff fingerprints
+          match — the determinism tests compare these across job counts *)
+}
+
+(** Estimated coverage: distinct canonical digests per walk. *)
+val coverage : swarm -> float
+
+val pp_swarm : Format.formatter -> swarm -> unit
+
+(** {2 Coverage-guided schedule search} *)
+
+type counterexample =
+  | Cx_livelock of int list  (** certified commit-free fixpoint; the path *)
+  | Cx_violation of violation
+
+type search = {
+  se_rounds : int;  (** mutation rounds completed *)
+  se_evals : int;  (** schedules evaluated (swarm runs) *)
+  se_distinct : int;  (** distinct canonical digests across all evals *)
+  se_best : (string * float) list;
+      (** final population: (schedule text, fitness), best first *)
+  se_counterexample : (string * counterexample) option;
+      (** the found bug: fault-schedule text
+          ({!Bft_faults.Fault_schedule.of_string} round-trips it) and the
+          walk that exhibits it under that schedule *)
+}
+
+val pp_counterexample : Format.formatter -> counterexample -> unit
+val pp_search : Format.formatter -> search -> unit

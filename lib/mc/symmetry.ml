@@ -1,0 +1,116 @@
+open Bft_types
+
+(* Validator-symmetry reduction over the checker's structured state vector.
+
+   Round-robin fixes the leader of every view, so the only interchangeable
+   validators are the ones that never lead within the explored horizon:
+   with [view_bound] views, nodes [0 .. view_bound - 1] each lead some
+   explored view and node [view_bound] leads only view [view_bound + 1] —
+   whose sole leader-specific action is a proposal sent in the transition
+   that makes the state a view-bound leaf, never delivered within the
+   horizon.  Everything at index [view_bound] and above is therefore
+   role-symmetric, minus nodes the configuration itself distinguishes
+   (equivocators, fault-schedule victims, partition-group members).
+
+   Canonicalization permutes the *slots* of the vector (which node holds
+   which opaque state hash, which (dst, src) channel holds which content
+   sequence); it does not rewrite node ids baked inside the opaque hashes.
+   Soundness does not need it to: two worlds whose vectors are related by a
+   movable permutation assign byte-identical protocol states to
+   role-equivalent nodes, and within the horizon a movable node's behavior
+   depends on its id only through routing — which the slot permutation maps
+   exactly. *)
+
+type vec = {
+  sv_n : int;
+  sv_nodes : (int64 * int64) array;  (** per node: (state hash, WAL hash) *)
+  sv_chans : int64 array;  (** [dst * n + src]: in-flight content-sequence digest *)
+  sv_arrivals : int list array;  (** per dst: source ids, oldest arrival first *)
+  sv_timers : int array;  (** per owner: live unfired timers *)
+  sv_fired : int array;  (** per node: timer firings this fault era *)
+  sv_fault_idx : int;
+}
+
+let digest v =
+  let fields = ref [] in
+  let push x = fields := x :: !fields in
+  Array.iter
+    (fun (s, w) ->
+      push s;
+      push w)
+    v.sv_nodes;
+  Array.iter push v.sv_chans;
+  Array.iter
+    (fun srcs ->
+      push (Hash.to_int64 (Hash.of_fields (List.map Int64.of_int srcs))))
+    v.sv_arrivals;
+  Array.iter (fun c -> push (Int64.of_int c)) v.sv_timers;
+  push (Int64.of_int v.sv_fault_idx);
+  Array.iter (fun c -> push (Int64.of_int c)) v.sv_fired;
+  Hash.to_int64 (Hash.of_fields (List.rev !fields))
+
+let apply p v =
+  let n = v.sv_n in
+  if Array.length p <> n then invalid_arg "Symmetry.apply: permutation size";
+  let nodes = Array.make n (0L, 0L) in
+  let chans = Array.make (n * n) 0L in
+  let arrivals = Array.make n [] in
+  let timers = Array.make n 0 in
+  let fired = Array.make n 0 in
+  for i = 0 to n - 1 do
+    nodes.(p.(i)) <- v.sv_nodes.(i);
+    arrivals.(p.(i)) <- List.map (fun s -> p.(s)) v.sv_arrivals.(i);
+    timers.(p.(i)) <- v.sv_timers.(i);
+    fired.(p.(i)) <- v.sv_fired.(i)
+  done;
+  for dst = 0 to n - 1 do
+    for src = 0 to n - 1 do
+      chans.((p.(dst) * n) + p.(src)) <- v.sv_chans.((dst * n) + src)
+    done
+  done;
+  {
+    v with
+    sv_nodes = nodes;
+    sv_chans = chans;
+    sv_arrivals = arrivals;
+    sv_timers = timers;
+    sv_fired = fired;
+  }
+
+let movable ~n ~view_bound ~fixed =
+  List.filter
+    (fun i -> i >= view_bound && not (List.mem i fixed))
+    (List.init n (fun i -> i))
+
+(* All orderings of [l]; at most [|movable|!] of them, so callers keep the
+   movable set small (the interesting worlds have 2-3 movable followers). *)
+let rec orderings = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          List.map (fun rest -> x :: rest) (orderings (List.filter (( <> ) x) l)))
+        l
+
+let group ~n movable =
+  List.iter
+    (fun i -> if i < 0 || i >= n then invalid_arg "Symmetry.group: node out of range")
+    movable;
+  if List.length movable <> List.length (List.sort_uniq compare movable) then
+    invalid_arg "Symmetry.group: duplicate movable node";
+  List.map
+    (fun image ->
+      let p = Array.init n (fun i -> i) in
+      List.iteri (fun k src -> p.(List.nth movable k) <- src) image;
+      p)
+    (orderings movable)
+
+let canonical grp v =
+  match grp with
+  | [] -> digest v
+  | _ ->
+      List.fold_left
+        (fun acc p ->
+          let d = digest (apply p v) in
+          if Int64.unsigned_compare d acc < 0 then d else acc)
+        Int64.minus_one grp

@@ -1,0 +1,51 @@
+(** Validator-symmetry reduction for the model checker's state digests.
+
+    Round-robin leadership fixes the role of nodes [0 .. view_bound - 1]
+    (each leads an explored view), so only the remaining followers are
+    interchangeable.  The checker canonicalizes each structured state
+    vector by taking the minimum digest over every permutation of the
+    movable set — worlds that differ only in which follower played which
+    role collapse to one canonical state.
+
+    The permutation renames the vector's {e slots} (node positions,
+    [(dst, src)] channels, arrival sources, timer owners); it never edits
+    the opaque per-node hashes.  Two vectors related by a movable
+    permutation therefore describe worlds whose role-equivalent nodes hold
+    byte-identical protocol state, and — because a movable node is never a
+    leader within the horizon and all its sends are routed through the
+    permuted slots — their futures are bisimilar with respect to every
+    checked invariant.  The reduction assumes movable nodes run the {e
+    same} program: exclude equivocators, fault-schedule victims and
+    partition members via [fixed] (the checker does). *)
+
+type vec = {
+  sv_n : int;
+  sv_nodes : (int64 * int64) array;  (** per node: (state hash, WAL hash) *)
+  sv_chans : int64 array;
+      (** [dst * n + src]: digest of the channel's in-flight content
+          sequence *)
+  sv_arrivals : int list array;
+      (** per destination: source ids, oldest arrival first *)
+  sv_timers : int array;  (** per owner: live unfired timers *)
+  sv_fired : int array;  (** per node: timer firings this fault era *)
+  sv_fault_idx : int;
+}
+
+(** Order-stable digest of a vector (no canonicalization). *)
+val digest : vec -> int64
+
+(** [apply p v] renames every slot through permutation [p]
+    ([p.(i)] is where node [i]'s state goes). *)
+val apply : int array -> vec -> vec
+
+(** [movable ~n ~view_bound ~fixed] — the interchangeable followers:
+    every node [>= view_bound] not listed in [fixed]. *)
+val movable : n:int -> view_bound:int -> fixed:int list -> int list
+
+(** The full permutation group over [movable] (identity included), as
+    length-[n] permutation arrays fixing every other node.  Size is
+    [|movable|!] — keep the movable set small. *)
+val group : n:int -> int list -> int array list
+
+(** Minimum digest over the group; [canonical [] v = digest v]. *)
+val canonical : int array list -> vec -> int64

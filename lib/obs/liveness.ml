@@ -36,6 +36,7 @@ type t = {
   mutable max_quorum_gap : float;
   mutable recoveries : pending_recovery list;  (* newest first *)
   mutable checks_passed : int;
+  mutable min_slack : float;  (* nan = no check has passed yet *)
 }
 
 let create ?(k = default_k) ~n ~delta ~gst () =
@@ -57,6 +58,7 @@ let create ?(k = default_k) ~n ~delta ~gst () =
     max_quorum_gap = 0.;
     recoveries = [];
     checks_passed = 0;
+    min_slack = Float.nan;
   }
 
 let bound t = t.k *. t.delta
@@ -110,6 +112,11 @@ let check t ~since ~now =
       "liveness: no quorum commit in (%.0f, %.0f] ms (bound %.0f ms = %g \
        Delta)"
       since now b t.k;
+  (* Slack: by how much the tightest obligation cleared the window — the
+     latest-committing obligated entity's last commit minus [since].  A
+     slack of epsilon means one commit landed just inside the bound: a
+     near-miss worth surfacing even though the check passed. *)
+  let slack = ref (t.last_quorum_commit -. since) in
   for i = 0 to t.n - 1 do
     (* Only nodes that were correct and up for the whole window are owed
        progress; a node that crashed inside it gets its own post-recovery
@@ -117,15 +124,14 @@ let check t ~since ~now =
     let crashed_inside =
       (not (Float.is_nan t.crashed_at.(i))) && t.crashed_at.(i) > since
     in
-    if
-      t.up.(i)
-      && (not t.exempt.(i))
-      && (not crashed_inside)
-      && (Float.is_nan t.last_commit.(i) || t.last_commit.(i) <= since)
-    then
-      fail "liveness: node %d committed nothing in (%.0f, %.0f] ms" i since
-        now
+    if t.up.(i) && (not t.exempt.(i)) && not crashed_inside then
+      if Float.is_nan t.last_commit.(i) || t.last_commit.(i) <= since then
+        fail "liveness: node %d committed nothing in (%.0f, %.0f] ms" i since
+          now
+      else slack := Float.min !slack (t.last_commit.(i) -. since)
   done;
+  if Float.is_nan t.min_slack then t.min_slack <- !slack
+  else t.min_slack <- Float.min t.min_slack !slack;
   t.checks_passed <- t.checks_passed + 1
 
 type recovery = {
@@ -141,6 +147,7 @@ type report = {
   max_quorum_gap_ms : float;
   checks_passed : int;
   bound_ms : float;
+  min_slack_ms : float option;
 }
 
 let report (t : t) =
@@ -159,4 +166,5 @@ let report (t : t) =
     max_quorum_gap_ms = t.max_quorum_gap;
     checks_passed = t.checks_passed;
     bound_ms = bound t;
+    min_slack_ms = (if Float.is_nan t.min_slack then None else Some t.min_slack);
   }

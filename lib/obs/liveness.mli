@@ -64,6 +64,13 @@ type report = {
       (** Largest gap between consecutive quorum commits after GST. *)
   checks_passed : int;
   bound_ms : float;
+  min_slack_ms : float option;
+      (** Smallest margin by which any passed check cleared its window: the
+          latest-committing obligated entity's last commit minus the
+          window start, minimized over checks.  Near zero = a near-miss —
+          the run stayed live by luck; [None] = no check ever ran.  The
+          model checker's schedule search uses the analogous commit-free
+          walk count as its fitness near-miss signal. *)
 }
 
 val report : t -> report

@@ -3,7 +3,9 @@
    and makes one fixed node multicast a second, conflicting normal vote
    whenever it votes in view 1 — the canonical safety-rule violation the
    checker's capture-time vote accounting must flag (the node is honest as
-   far as the checker knows: it is not registered as an equivocator). *)
+   far as the checker knows: it is not registered as an equivocator).
+   [No_regossip] reverts the post-partition liveness fix instead: a
+   genuinely wedge-able protocol for the livelock detectors to find. *)
 
 open Bft_types
 open Moonshot
@@ -38,6 +40,40 @@ module Double_vote : Protocol_intf.S with type msg = Message.t = struct
                        { kind = Vote_kind.Normal; block = conflicting block })
               | _ -> ());
         }
+    in
+    Simple_node.Protocol.create ?equivocate ?wal env
+end
+
+(* Simple Moonshot with the post-partition liveness fix reverted: timeouts
+   no longer carry the sender's lock, and a node never re-multicasts a
+   certificate or TC it already gossiped once (the while-stuck rebroadcast
+   of the evidence that justified its current view is suppressed as a
+   duplicate).  After an asymmetric partition heals, a side that advanced
+   on an in-flight cert/TC the other never saw then rebroadcasts timeouts
+   for a view the laggards cannot join — timeout pools for different views
+   grow at each other forever, a certified livelock.  The dedup cache is
+   per incarnation (rebuilt on recovery), like any volatile cache. *)
+module No_regossip : Protocol_intf.S with type msg = Message.t = struct
+  include Simple_node.Protocol
+
+  let create ?equivocate ?wal (env : Message.t Env.t) =
+    let gossiped = Hashtbl.create 17 in
+    let env =
+      {
+        env with
+        Env.multicast =
+          (fun msg ->
+            match msg with
+            | Message.Timeout { view; lock = Some _ } ->
+                env.Env.multicast (Message.Timeout { view; lock = None })
+            | Message.Cert_gossip _ | Message.Tc_gossip _ ->
+                let d = Hash.to_int64 (Message.digest msg) in
+                if not (Hashtbl.mem gossiped d) then begin
+                  Hashtbl.replace gossiped d ();
+                  env.Env.multicast msg
+                end
+            | _ -> env.Env.multicast msg);
+      }
     in
     Simple_node.Protocol.create ?equivocate ?wal env
 end
